@@ -1,0 +1,18 @@
+"""Helpers shared by the benchmark harness modules."""
+
+from __future__ import annotations
+
+import os
+
+
+def bench_scale() -> int:
+    """Task-count multiplier controlled by the REPRO_BENCH_SCALE env var."""
+    try:
+        return max(1, int(os.environ.get("REPRO_BENCH_SCALE", "1")))
+    except ValueError:
+        return 1
+
+
+def scaled(base: int, cap: int = 50) -> int:
+    """Scale a per-experiment task count, capped at the paper's 50 samples."""
+    return min(cap, base * bench_scale())

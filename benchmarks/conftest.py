@@ -1,0 +1,25 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures on the
+serving simulator, prints the rows/series the paper reports, and asserts the
+qualitative shape (who wins, by roughly what factor) rather than absolute
+numbers.
+
+Sample sizes default to small values so the whole suite finishes in a few
+minutes; set ``REPRO_BENCH_SCALE`` (e.g. ``REPRO_BENCH_SCALE=4``) to multiply
+task counts toward the paper's 50-task protocol.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run the experiment exactly once under pytest-benchmark timing."""
+
+    def _run(function, *args, **kwargs):
+        return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return _run

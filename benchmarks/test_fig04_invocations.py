@@ -1,0 +1,40 @@
+"""Figure 4 -- average number of LLM and tool invocations per request."""
+
+from bench_utils import scaled
+
+from repro.analysis import figure4
+from repro.core import mean
+
+
+def test_fig04_llm_and_tool_invocations(run_once):
+    result = run_once(figure4, num_tasks=scaled(6), seed=0)
+    print()
+    print(result.format())
+
+    rows = {(row["agent"], row["benchmark"]): row for row in result.rows()}
+
+    # CoT performs exactly one LLM inference and no tool calls.
+    for benchmark in ("hotpotqa", "math", "humaneval"):
+        assert rows[("cot", benchmark)]["llm_invocations"] == 1.0
+        assert rows[("cot", benchmark)]["tool_invocations"] == 0.0
+
+    # Tool-augmented agents require many more LLM calls than CoT (paper: 9.2x
+    # on average) and LATS is the most call-hungry agent on every benchmark.
+    ratios = []
+    for benchmark in ("hotpotqa", "math", "humaneval"):
+        for agent in ("react", "reflexion", "lats"):
+            ratios.append(rows[(agent, benchmark)]["llm_invocations"])
+        lats_calls = rows[("lats", benchmark)]["llm_invocations"]
+        assert lats_calls >= rows[("react", benchmark)]["llm_invocations"]
+        assert lats_calls >= rows[("reflexion", benchmark)]["llm_invocations"]
+    assert mean(ratios) > 4.0
+
+    # WebShop's long navigation sessions need the most iterations (paper Fig. 4).
+    assert rows[("react", "webshop")]["llm_invocations"] > rows[("react", "hotpotqa")]["llm_invocations"]
+
+    # LLMCompiler's DAG planning compresses several tool calls into one LLM call.
+    assert (
+        rows[("llmcompiler", "hotpotqa")]["llm_invocations"]
+        < rows[("react", "hotpotqa")]["llm_invocations"] + 1
+    )
+    assert rows[("llmcompiler", "webshop")]["tool_invocations"] > rows[("llmcompiler", "webshop")]["llm_invocations"]

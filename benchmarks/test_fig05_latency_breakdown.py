@@ -1,0 +1,35 @@
+"""Figure 5 -- latency breakdown (LLM / tool / overlap / other) and e2e latency."""
+
+import pytest
+from bench_utils import scaled
+
+from repro.analysis import figure5
+
+
+def test_fig05_latency_breakdown(run_once):
+    result = run_once(figure5, num_tasks=scaled(6), seed=0)
+    print()
+    print(result.format())
+
+    rows = {(row["agent"], row["benchmark"]): row for row in result.rows()}
+    averages = result.average_fractions()
+
+    # Both phases contribute substantially; LLM inference is the larger share
+    # on average (paper: 69.4% LLM vs 30.2% tool), and the four fractions
+    # partition the request wall-clock time.
+    assert averages["llm"] > averages["tool"] > 0.03
+    assert sum(averages.values()) == pytest.approx(1.0, abs=0.02)
+
+    # HotpotQA's Wikipedia calls (1.2 s each) make tools a much larger share of
+    # latency than WebShop's 20 ms local navigation calls.
+    assert rows[("react", "hotpotqa")]["tool_frac"] > rows[("react", "webshop")]["tool_frac"] + 0.1
+
+    # Only LLMCompiler overlaps planning with tool execution (pink bars).
+    compiler_overlap = rows[("llmcompiler", "hotpotqa")]["overlap_frac"]
+    assert compiler_overlap >= 0.0
+    for agent in ("react", "reflexion"):
+        assert rows[(agent, "hotpotqa")]["overlap_frac"] <= compiler_overlap + 0.02
+
+    # CoT requests are the cheapest end to end; LATS the most expensive.
+    assert rows[("cot", "hotpotqa")]["e2e_latency_s"] < rows[("lats", "hotpotqa")]["e2e_latency_s"]
+    assert rows[("react", "hotpotqa")]["e2e_latency_s"] < rows[("lats", "hotpotqa")]["e2e_latency_s"]

@@ -1,0 +1,31 @@
+"""Figure 7 -- end-to-end latency distribution: chatbot vs ReAct agents."""
+
+from bench_utils import scaled
+
+from repro.analysis import figure7
+
+
+def test_fig07_latency_distribution(run_once):
+    result = run_once(figure7, num_tasks=scaled(15), seed=0)
+    print()
+    print(result.format())
+
+    rows = {row["workload"]: row for row in result.rows()}
+    chatbot = rows["sharegpt_chatbot"]
+    hotpot = rows["hotpotqa_react"]
+    webshop = rows["webshop_react"]
+
+    # Chatbot latencies are low and tight (paper: p95 = 9.7 s); agents are
+    # slower with much heavier tails (paper: 20.7 s HotpotQA, 50.8 s WebShop).
+    assert chatbot["p95_s"] < 15.0
+    assert hotpot["p95_s"] > chatbot["p95_s"]
+    assert webshop["p95_s"] > chatbot["p95_s"]
+
+    # The latency distribution of agent workloads is much broader: the gap
+    # between the median and the 95th percentile is wider than the chatbot's.
+    chatbot_spread = chatbot["p95_s"] - chatbot["p50_s"]
+    agent_spread = max(
+        hotpot["p95_s"] - hotpot["p50_s"],
+        webshop["p95_s"] - webshop["p50_s"],
+    )
+    assert agent_spread > chatbot_spread

@@ -1,0 +1,36 @@
+"""Figure 8 -- breakdown of input and output tokens in LLM inference."""
+
+from bench_utils import scaled
+
+from repro.analysis import figure8
+
+
+def test_fig08_token_breakdown(run_once):
+    result = run_once(figure8, num_tasks=scaled(6), seed=0)
+    print()
+    print(result.format())
+
+    rows = {(row["agent"], row["benchmark"]): row for row in result.rows()}
+
+    # Agents carry longer inputs than CoT: role instructions plus accumulated
+    # LLM/tool interaction history.
+    for benchmark in ("hotpotqa", "math", "humaneval"):
+        cot = rows[("cot", benchmark)]
+        react = rows[("react", benchmark)]
+        assert react["input_total"] > cot["input_total"]
+        assert react["llm_history"] + react["tool_history"] > 0
+        assert cot["tool_history"] == 0
+
+    # Knowledge/decision tasks accumulate tool history; reasoning-heavy tasks
+    # accumulate LLM history (paper Section IV-B).
+    assert rows[("react", "hotpotqa")]["tool_history"] > rows[("react", "math")]["tool_history"]
+    assert rows[("react", "webshop")]["tool_history"] > rows[("react", "webshop")]["llm_history"]
+    assert rows[("react", "math")]["llm_history"] > rows[("react", "math")]["tool_history"]
+
+    # Per-call outputs are shorter for iterating agents than for CoT, because
+    # the answer is spread over many calls; LATS is the exception.
+    assert rows[("react", "hotpotqa")]["output"] < rows[("cot", "hotpotqa")]["output"]
+
+    # Instruction + few-shot prompt segments are identical across agents on a
+    # benchmark (they are the shared prefix the prefix cache exploits).
+    assert rows[("react", "hotpotqa")]["instruction"] == rows[("reflexion", "hotpotqa")]["instruction"]

@@ -1,0 +1,32 @@
+"""Figure 9 -- effect of prefix caching on LLM inference latency."""
+
+from bench_utils import scaled
+
+from repro.analysis import figure9
+
+
+def test_fig09_prefix_caching_inference_latency(run_once):
+    result = run_once(
+        figure9,
+        benchmarks=("hotpotqa", "webshop"),
+        num_tasks=scaled(5),
+        seed=0,
+    )
+    print()
+    print(result.format())
+
+    rows = {(row["agent"], row["benchmark"]): row for row in result.rows()}
+
+    # Prefix caching removes most redundant prefill work for iterative agents
+    # (paper: 60.1% average prefill-latency reduction) ...
+    assert result.mean_prefill_reduction(exclude_cot=True) > 0.4
+
+    # ... but helps CoT much less, since a single-call request shares little.
+    cot_reduction = rows[("cot", "hotpotqa")]["prefill_reduction"]
+    react_reduction = rows[("react", "hotpotqa")]["prefill_reduction"]
+    assert react_reduction > cot_reduction
+
+    # Decoding work itself is unchanged; total inference latency drops.
+    for row in result.rows():
+        assert row["decode_s_cache"] > 0
+        assert row["inference_s_cache"] <= row["inference_s_no_cache"] + 1e-6

@@ -1,0 +1,22 @@
+"""Figure 12 -- KV-cache memory usage with and without prefix caching."""
+
+from bench_utils import scaled
+
+from repro.analysis import figure12
+
+
+def test_fig12_kv_cache_memory(run_once):
+    result = run_once(figure12, num_requests=scaled(20, cap=80), seed=0)
+    print()
+    print(result.format())
+
+    # Prefix caching reduces both the average and the maximum KV-cache
+    # footprint (paper: 51.7% / 63.5% at the same offered load).
+    for benchmark in ("hotpotqa", "webshop"):
+        assert result.reduction(benchmark, "avg_bytes") > 0.10
+        assert result.reduction(benchmark, "max_bytes") > 0.0
+
+    # Absolute footprints stay within a single A100's KV budget (tens of GB).
+    for row in result.rows():
+        assert 0.0 < row["max_kv_gb"] < 20.0
+        assert row["avg_kv_gb"] <= row["max_kv_gb"]

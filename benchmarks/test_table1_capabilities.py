@@ -1,0 +1,18 @@
+"""Table I -- comparison of AI agents (capability matrix)."""
+
+from repro.analysis import table1
+
+
+def test_table1_capability_matrix(run_once):
+    result = run_once(table1)
+    print()
+    print(result.format())
+
+    rows = {row["Agent"]: row for row in result.rows()}
+    assert list(rows) == ["cot", "react", "reflexion", "lats", "llmcompiler"]
+    # Exact capability pattern from the paper's Table I.
+    assert [rows["cot"][c] for c in ("Reasoning", "Tool Use", "Reflection", "Tree Search", "Structured Planning")] == ["O", "X", "X", "X", "X"]
+    assert [rows["react"][c] for c in ("Tool Use", "Reflection")] == ["O", "X"]
+    assert [rows["reflexion"][c] for c in ("Reflection", "Tree Search")] == ["O", "X"]
+    assert [rows["lats"][c] for c in ("Reflection", "Tree Search", "Structured Planning")] == ["O", "O", "X"]
+    assert [rows["llmcompiler"][c] for c in ("Tree Search", "Structured Planning")] == ["X", "O"]

@@ -1,0 +1,20 @@
+"""Table II -- description of benchmarks."""
+
+from repro.analysis import table2
+
+
+def test_table2_benchmark_descriptions(run_once):
+    result = run_once(table2)
+    print()
+    print(result.format())
+
+    rows = {row["Benchmark"]: row for row in result.rows()}
+    assert set(rows) == {"hotpotqa", "webshop", "math", "humaneval"}
+    assert "Wikipedia" in rows["hotpotqa"]["Tool"]
+    assert "navigation" in rows["webshop"]["Tool"]
+    assert "Wolfram" in rows["math"]["Tool"]
+    assert "test" in rows["humaneval"]["Tool"]
+    # Paper's agent/benchmark omissions.
+    assert "cot" not in rows["webshop"]["Agent"]
+    assert "llmcompiler" not in rows["math"]["Agent"]
+    assert "llmcompiler" not in rows["humaneval"]["Agent"]

@@ -1,0 +1,67 @@
+"""Quickstart: characterise one AI agent on one benchmark.
+
+Runs a ReAct agent on synthetic HotpotQA tasks through the simulated vLLM
+serving stack (one A100-40GB, Llama-3.1-8B) and prints the per-request cost
+profile the paper reports: LLM/tool invocations, latency breakdown, GPU
+utilization, token composition, and GPU energy.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro.agents import AgentConfig
+from repro.analysis import format_table
+from repro.core import SingleRequestRunner
+
+
+def main() -> None:
+    runner = SingleRequestRunner(model="8b", enable_prefix_caching=True, seed=0)
+    config = AgentConfig(max_iterations=7, num_few_shot=2)
+    result = runner.run("react", "hotpotqa", config=config, num_tasks=10)
+
+    print("=== ReAct on HotpotQA (Llama-3.1-8B, 1x A100-40GB) ===")
+    print(f"requests:            {result.num_requests}")
+    print(f"accuracy:            {result.accuracy * 100:.1f} %")
+    print(f"mean latency:        {result.mean_latency:.1f} s   (p95 {result.latency_stats.p95:.1f} s)")
+    print(f"LLM calls/request:   {result.mean_llm_calls:.1f}")
+    print(f"tool calls/request:  {result.mean_tool_calls:.1f}")
+    print(f"GPU energy/request:  {result.mean_energy_wh:.2f} Wh")
+    print()
+
+    breakdown = result.latency_breakdown()
+    print("Latency breakdown (fractions of end-to-end time):")
+    for phase, fraction in breakdown.fractions.items():
+        print(f"  {phase:<8s} {fraction * 100:5.1f} %")
+    print()
+
+    gpu = result.gpu_breakdown()
+    print(f"GPU utilization: {gpu.utilization * 100:.1f} % "
+          f"(prefill {gpu.fractions['prefill'] * 100:.1f} %, "
+          f"decode {gpu.fractions['decode'] * 100:.1f} %, "
+          f"idle {gpu.fractions['idle'] * 100:.1f} %)")
+    print()
+
+    tokens = result.token_breakdown()
+    print(format_table([tokens.as_dict()], "Average prompt/output tokens per LLM call"))
+    print()
+
+    print("Per-request details:")
+    rows = [
+        {
+            "task": obs.result.task_id,
+            "latency_s": obs.result.e2e_latency,
+            "llm_calls": obs.result.num_llm_calls,
+            "tool_calls": obs.result.num_tool_calls,
+            "correct": obs.result.answer_correct,
+            "energy_wh": obs.energy_wh,
+        }
+        for obs in result.observations
+    ]
+    print(format_table(rows))
+
+
+if __name__ == "__main__":
+    main()

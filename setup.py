@@ -1,0 +1,5 @@
+"""Setuptools entry point (kept for environments without PEP 517 tooling)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,31 @@
+"""repro: reproduction of "The Cost of Dynamic Reasoning" (HPCA 2026).
+
+A simulation-based characterization suite for LLM-based AI agents and
+test-time scaling from an AI-infrastructure perspective.  The package is
+organised bottom-up:
+
+* :mod:`repro.sim` -- discrete-event simulation kernel.
+* :mod:`repro.llm` -- vLLM-style serving engine (continuous batching, paged KV
+  cache, prefix caching) over an A100/Llama-3.1 roofline and energy model.
+* :mod:`repro.oracle` -- calibrated synthetic LLM behaviour/accuracy models.
+* :mod:`repro.tools` / :mod:`repro.workloads` -- simulated tool environments
+  and the HotpotQA / WebShop / MATH / HumanEval / ShareGPT benchmarks.
+* :mod:`repro.agents` -- CoT, ReAct, Reflexion, LATS, and LLMCompiler
+  workflows plus the single-turn chatbot baseline.
+* :mod:`repro.serving` -- the agent serving system and load generator.
+* :mod:`repro.core` -- the characterization framework (latency/GPU/token/KV/
+  energy metrics, Pareto analysis, datacenter projections).
+* :mod:`repro.analysis` -- one function per paper figure and table.
+
+Quickstart::
+
+    from repro.core import SingleRequestRunner
+
+    runner = SingleRequestRunner(model="8b")
+    result = runner.run("react", "hotpotqa", num_tasks=10)
+    print(result.mean_latency, result.accuracy, result.mean_energy_wh)
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,41 @@
+"""AI agent workflows characterised by the paper (Table I).
+
+Five agents cover the design space the paper studies -- CoT (static
+reasoning), ReAct (tool use), Reflexion (reflection), LATS (tree search), and
+LLMCompiler (structured planning) -- plus the single-turn chatbot runner used
+for the ShareGPT baseline.
+"""
+
+from repro.agents.base import AgentRunResult, BaseAgent
+from repro.agents.chatbot import ChatbotAgent
+from repro.agents.config import AgentCapabilities, AgentConfig
+from repro.agents.cot import CoTAgent
+from repro.agents.lats import LATSAgent
+from repro.agents.llmcompiler import LLMCompilerAgent
+from repro.agents.react import ReActAgent
+from repro.agents.reflexion import ReflexionAgent
+from repro.agents.registry import (
+    AGENT_CLASSES,
+    PAPER_AGENTS,
+    available_agents,
+    create_agent,
+    get_agent_class,
+)
+
+__all__ = [
+    "AGENT_CLASSES",
+    "AgentCapabilities",
+    "AgentConfig",
+    "AgentRunResult",
+    "BaseAgent",
+    "ChatbotAgent",
+    "CoTAgent",
+    "LATSAgent",
+    "LLMCompilerAgent",
+    "PAPER_AGENTS",
+    "ReActAgent",
+    "ReflexionAgent",
+    "available_agents",
+    "create_agent",
+    "get_agent_class",
+]

@@ -1,0 +1,281 @@
+"""Agent core: the shared machinery every agent workflow builds on.
+
+The agent core mirrors the paper's Figure 2 decomposition:
+
+* the *agent core* (this module + the concrete workflow subclasses) performs
+  reasoning by issuing LLM calls through the serving engine,
+* *memory* is the growing prompt context (LLM-history and tool-history spans)
+  plus, for reflective agents, accumulated reflection spans,
+* the *plan* is workflow-specific (ReAct's implicit next-step choice, LATS's
+  tree, LLMCompiler's DAG of tool tasks), and
+* *tools* are invoked through the benchmark's :class:`~repro.tools.base.ToolSet`.
+
+Every agent run produces an :class:`AgentRunResult` holding the full timing
+trace (each LLM call's timings, each tool call's interval, framework
+overhead) so the characterization layer can regenerate the paper's latency,
+token, utilization, and energy breakdowns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.agents.config import AgentCapabilities, AgentConfig
+from repro.llm.client import LLMClient
+from repro.llm.request import LLMResult
+from repro.llm.tokenizer import Prompt, SegmentKind, SyntheticTokenizer
+from repro.oracle.behavior import TaskOracle, make_oracle
+from repro.oracle.calibration import (
+    get_agent_profile,
+    get_benchmark_profile,
+    get_model_quality,
+)
+from repro.sim import Environment
+from repro.sim.distributions import RandomStream
+from repro.tools.base import ToolAction, ToolCallRecord, ToolResult, ToolSet
+from repro.workloads.base import Task, Workload
+
+
+@dataclass
+class AgentRunResult:
+    """Complete trace of one agent request (one task served end to end)."""
+
+    agent: str
+    benchmark: str
+    task_id: str
+    config: AgentConfig
+    model: str
+    start_time: float = 0.0
+    end_time: float = 0.0
+    llm_calls: List[LLMResult] = field(default_factory=list)
+    tool_calls: List[ToolCallRecord] = field(default_factory=list)
+    other_time: float = 0.0
+    iterations: int = 0
+    trials: int = 1
+    solved: bool = False
+    answer_correct: bool = False
+    score: float = 0.0
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+    # -- derived quantities -------------------------------------------------
+    @property
+    def e2e_latency(self) -> float:
+        return max(0.0, self.end_time - self.start_time)
+
+    @property
+    def num_llm_calls(self) -> int:
+        return len(self.llm_calls)
+
+    @property
+    def num_tool_calls(self) -> int:
+        return len(self.tool_calls)
+
+    @property
+    def total_prompt_tokens(self) -> int:
+        return sum(result.prompt_tokens for result in self.llm_calls)
+
+    @property
+    def total_output_tokens(self) -> int:
+        return sum(result.output_tokens for result in self.llm_calls)
+
+    @property
+    def total_tokens(self) -> int:
+        return self.total_prompt_tokens + self.total_output_tokens
+
+    def llm_intervals(self) -> List[Tuple[float, float]]:
+        """(start, end) intervals of the agent's own LLM calls."""
+        return [(r.arrival_time, r.finish_time) for r in self.llm_calls]
+
+    def tool_intervals(self) -> List[Tuple[float, float]]:
+        return [(record.start, record.end) for record in self.tool_calls]
+
+    def mean_prompt_tokens_by_kind(self) -> Dict[SegmentKind, float]:
+        """Average prompt composition across this request's LLM calls."""
+        if not self.llm_calls:
+            return {}
+        totals: Dict[SegmentKind, float] = {}
+        for result in self.llm_calls:
+            for kind, count in result.prompt_tokens_by_kind.items():
+                totals[kind] = totals.get(kind, 0.0) + count
+        return {kind: value / len(self.llm_calls) for kind, value in totals.items()}
+
+
+class BaseAgent:
+    """Common implementation shared by all agent workflows."""
+
+    name = "base"
+    capabilities = AgentCapabilities()
+
+    def __init__(
+        self,
+        *,
+        env: Environment,
+        client: LLMClient,
+        workload: Workload,
+        toolset: Optional[ToolSet],
+        config: Optional[AgentConfig] = None,
+        seed_stream: Optional[RandomStream] = None,
+    ):
+        self.env = env
+        self.client = client
+        self.workload = workload
+        self.toolset = toolset
+        self.config = config or AgentConfig()
+        self.seed_stream = seed_stream or RandomStream(0, f"agent/{self.name}")
+        self.tokenizer: SyntheticTokenizer = client.tokenizer
+
+        self.profile = get_agent_profile(self.name)
+        self.benchmark_profile = workload.profile
+        self.model_quality = get_model_quality(client.model_name)
+
+        if self.capabilities.tool_use and toolset is None:
+            raise ValueError(f"agent {self.name!r} requires a toolset")
+        if not workload.supports_agent(self.name):
+            raise ValueError(
+                f"benchmark {workload.name!r} does not support agent {self.name!r}"
+            )
+
+    # -- prompt assembly ------------------------------------------------------
+    def base_prompt(self, task: Task) -> Prompt:
+        """Instruction + few-shot + user spans for ``task``.
+
+        Instruction and few-shot spans are pure functions of
+        (benchmark, agent, example index), so every request of the same agent
+        on the same benchmark shares them -- this is the cross-request prefix
+        the serving-level prefix cache exploits.
+        """
+        prompt = Prompt()
+        prompt.append(
+            self.tokenizer.span(
+                SegmentKind.INSTRUCTION,
+                f"instruction:{self.workload.name}:{self.name}",
+                self.benchmark_profile.instruction_tokens,
+            )
+        )
+        for example_index in range(self.config.num_few_shot):
+            prompt.append(
+                self.tokenizer.span(
+                    SegmentKind.FEW_SHOT,
+                    f"fewshot:{self.workload.name}:{self.name}:{example_index}",
+                    self.benchmark_profile.few_shot_example_tokens,
+                )
+            )
+        prompt.append(
+            self.tokenizer.span(SegmentKind.USER, f"user:{task.task_id}", task.user_tokens)
+        )
+        return prompt
+
+    def make_oracle(self, task: Task, attempt: int = 0) -> TaskOracle:
+        return make_oracle(
+            task=task,
+            benchmark=self.benchmark_profile,
+            agent=self.profile,
+            model=self.model_quality,
+            num_few_shot=self.config.num_few_shot,
+            seed_stream=self.seed_stream,
+            attempt=attempt,
+        )
+
+    def new_trace(self, task: Task) -> AgentRunResult:
+        return AgentRunResult(
+            agent=self.name,
+            benchmark=self.workload.name,
+            task_id=task.task_id,
+            config=self.config,
+            model=self.client.model_name,
+            start_time=self.env.now,
+        )
+
+    # -- traced primitive operations -------------------------------------------
+    def llm_call(
+        self,
+        trace: AgentRunResult,
+        prompt: Prompt,
+        role: str,
+        oracle: TaskOracle,
+        output_tokens: Optional[int] = None,
+    ):
+        """Issue one LLM call and record it (``yield from`` inside run())."""
+        tokens = output_tokens if output_tokens is not None else oracle.sample_output_tokens(role)
+        tokens = min(tokens, self.config.max_output_tokens)
+        result = yield self.client.generate(
+            prompt.copy(),
+            output_tokens=tokens,
+            metadata={"agent": self.name, "role": role, "task": trace.task_id},
+        )
+        trace.llm_calls.append(result)
+        return result
+
+    def start_llm_call(
+        self,
+        trace: AgentRunResult,
+        prompt: Prompt,
+        role: str,
+        oracle: TaskOracle,
+        output_tokens: Optional[int] = None,
+    ):
+        """Submit an LLM call without waiting (returns the completion event).
+
+        Used for parallel calls (LATS children) and plan/tool overlap
+        (LLMCompiler).  The caller must record the result via
+        :meth:`record_llm_result` once the event fires.
+        """
+        tokens = output_tokens if output_tokens is not None else oracle.sample_output_tokens(role)
+        tokens = min(tokens, self.config.max_output_tokens)
+        return self.client.generate(
+            prompt.copy(),
+            output_tokens=tokens,
+            metadata={"agent": self.name, "role": role, "task": trace.task_id},
+        )
+
+    @staticmethod
+    def record_llm_result(trace: AgentRunResult, result: LLMResult) -> LLMResult:
+        trace.llm_calls.append(result)
+        return result
+
+    def tool_call(self, trace: AgentRunResult, action: ToolAction):
+        """Invoke a tool inline and record it (``yield from`` inside run())."""
+        start = self.env.now
+        result: ToolResult = yield from self.toolset.call(action)
+        trace.tool_calls.append(
+            ToolCallRecord(
+                tool=result.tool,
+                action=result.action,
+                argument=result.argument,
+                start=start,
+                end=self.env.now,
+                observation_tokens=result.observation_tokens,
+                success=result.success,
+                used_gpu=result.used_gpu,
+            )
+        )
+        return result
+
+    def tool_call_process(self, trace: AgentRunResult, action: ToolAction):
+        """Run a tool call as a separate process (for concurrent tool use)."""
+        return self.env.process(self.tool_call(trace, action))
+
+    def overhead(self, trace: AgentRunResult, duration: Optional[float] = None):
+        """Framework overhead (parsing, orchestration) between steps."""
+        duration = duration if duration is not None else self.profile.iteration_overhead_s
+        if duration > 0:
+            yield self.env.timeout(duration)
+            trace.other_time += duration
+
+    # -- finalisation -------------------------------------------------------------
+    def finalize(self, trace: AgentRunResult, oracle: TaskOracle, answer_candidates: int = 1) -> AgentRunResult:
+        trace.end_time = self.env.now
+        trace.solved = oracle.solved
+        trace.answer_correct = oracle.judge_final_answer(answer_candidates)
+        trace.score = oracle.score(trace.answer_correct)
+        return trace
+
+    # -- workflow entry point -------------------------------------------------------
+    def run(self, task: Task):
+        """Simulation process solving ``task``; returns an AgentRunResult."""
+        raise NotImplementedError
+
+    def run_process(self, task: Task):
+        """Convenience wrapper: spawn :meth:`run` as a simulation process."""
+        return self.env.process(self.run(task))

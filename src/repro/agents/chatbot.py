@@ -1,0 +1,37 @@
+"""Single-turn chatbot runner for the ShareGPT (non-agentic) baseline."""
+
+from __future__ import annotations
+
+from repro.agents.base import BaseAgent
+from repro.agents.config import AgentCapabilities
+from repro.llm.tokenizer import Prompt, SegmentKind
+from repro.workloads.base import Task
+
+
+class ChatbotAgent(BaseAgent):
+    """Conventional LLM service: one prompt in, one response out, no tools.
+
+    Used as the paper's single-turn inference baseline (ShareGPT workload) in
+    the serving comparison (Fig. 7, Fig. 11) and the energy analysis
+    (Table III).
+    """
+
+    name = "chatbot"
+    capabilities = AgentCapabilities(reasoning=False)
+
+    def run(self, task: Task):
+        trace = self.new_trace(task)
+        oracle = self.make_oracle(task)
+
+        prompt = Prompt()
+        prompt.append(
+            self.tokenizer.span(SegmentKind.USER, f"user:{task.task_id}", task.user_tokens)
+        )
+        output_tokens = int(task.metadata.get("output_tokens", 0)) or None
+        yield from self.llm_call(trace, prompt, "answer", oracle, output_tokens=output_tokens)
+        trace.iterations = 1
+        trace.solved = True
+        trace.end_time = self.env.now
+        trace.answer_correct = True
+        trace.score = 1.0
+        return trace

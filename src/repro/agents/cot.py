@@ -1,0 +1,36 @@
+"""Chain-of-Thought agent: single-call static reasoning baseline."""
+
+from __future__ import annotations
+
+from repro.agents.base import BaseAgent
+from repro.agents.config import AgentCapabilities
+from repro.workloads.base import Task
+
+
+class CoTAgent(BaseAgent):
+    """One LLM inference per request, no external tools (paper Fig. 3a).
+
+    CoT is included as the static-reasoning baseline: all reasoning steps are
+    produced inside a single long generation, so its cost profile is a single
+    prefill plus a decode-dominated generation.
+    """
+
+    name = "cot"
+    capabilities = AgentCapabilities(reasoning=True)
+
+    def run(self, task: Task):
+        trace = self.new_trace(task)
+        oracle = self.make_oracle(task)
+        prompt = self.base_prompt(task)
+
+        yield from self.llm_call(trace, prompt, role="cot", oracle=oracle)
+        trace.iterations = 1
+
+        # All reasoning happens inside the single long generation: the model
+        # gets a couple of internal attempts per required reasoning step (it
+        # can restate and re-derive within the chain of thought), but it has
+        # no way to retrieve external evidence.
+        for _ in range(2 * task.solution_depth):
+            oracle.attempt_step()
+        yield from self.overhead(trace)
+        return self.finalize(trace, oracle)

@@ -1,0 +1,74 @@
+"""LLMCompiler agent: structured DAG planning with streamed tool execution."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.agents.base import BaseAgent
+from repro.agents.config import AgentCapabilities
+from repro.workloads.base import Task
+
+
+class LLMCompilerAgent(BaseAgent):
+    """Plan-and-execute with asynchronous, overlapped tool calls (Fig. 3e).
+
+    Each planning *wave* is one LLM call that emits a small DAG of tool tasks.
+    As the plan for wave ``i+1`` is being generated, the tool tasks of wave
+    ``i`` execute concurrently -- this pipelining is the source of the
+    LLM/tool overlap slice the paper reports in Fig. 5 (about 18 % of total
+    latency).  Independent tool tasks inside a wave also run in parallel.
+    A final joiner call fuses the observations into the answer; if the task is
+    not yet resolved the agent replans (up to ``config.replan_rounds`` waves).
+    """
+
+    name = "llmcompiler"
+    capabilities = AgentCapabilities(
+        reasoning=True, tool_use=True, structured_planning=True
+    )
+
+    def run(self, task: Task):
+        trace = self.new_trace(task)
+        oracle = self.make_oracle(task)
+        prompt = self.base_prompt(task)
+        action_stream = self.seed_stream.substream(f"compiler-actions/{task.task_id}")
+
+        pending_tool_processes: List = []
+        rounds = 0
+        while rounds < self.config.replan_rounds and not oracle.solved:
+            rounds += 1
+            trace.iterations = rounds
+
+            # Planner call for this wave; the previous wave's tool tasks keep
+            # executing while the plan streams out (overlap).
+            plan_event = self.start_llm_call(trace, prompt, "plan", oracle)
+            wait_events = [plan_event] + pending_tool_processes
+            results = yield self.env.all_of(wait_events)
+            plan_result = results[0]
+            self.record_llm_result(trace, plan_result)
+            prompt.append(plan_result.output_span())
+            for finished_tool in pending_tool_processes:
+                prompt.append(finished_tool.value.observation_span)
+            pending_tool_processes = []
+
+            # The planner emits a small DAG of tool tasks; on benchmarks with
+            # highly interdependent actions (WebShop) the DAG over-fetches,
+            # which is modelled by planning more tasks than progress requires.
+            tasks_this_wave = self.config.tasks_per_wave
+            if self.workload.name == "webshop":
+                tasks_this_wave += 1
+            for _ in range(tasks_this_wave):
+                action = self.workload.action_for(task, oracle.progress, action_stream)
+                pending_tool_processes.append(self.tool_call_process(trace, action))
+                outcome = oracle.attempt_step()
+                if outcome.solved:
+                    break
+            yield from self.overhead(trace)
+
+        # Drain the last wave of tool tasks, then join.
+        if pending_tool_processes:
+            results = yield self.env.all_of(pending_tool_processes)
+            for index in sorted(results):
+                prompt.append(results[index].observation_span)
+
+        yield from self.llm_call(trace, prompt, "answer", oracle)
+        return self.finalize(trace, oracle)

@@ -1,0 +1,74 @@
+"""ReAct agent: interleaved reasoning and acting (Yao et al., ICLR'23)."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.agents.base import AgentRunResult, BaseAgent
+from repro.agents.config import AgentCapabilities
+from repro.llm.tokenizer import Prompt
+from repro.oracle.behavior import TaskOracle
+from repro.workloads.base import Task
+
+
+class ReActAgent(BaseAgent):
+    """Thought -> action -> observation loop (paper Fig. 3b).
+
+    Every iteration issues one LLM call (the thought + structured action) and,
+    unless the agent decides to answer, one tool call whose observation is
+    appended to the context for the next iteration.  The loop ends when the
+    task is solved (the next call emits the final answer) or the iteration
+    budget is exhausted.
+    """
+
+    name = "react"
+    capabilities = AgentCapabilities(reasoning=True, tool_use=True)
+
+    def run(self, task: Task):
+        trace = self.new_trace(task)
+        oracle = self.make_oracle(task)
+        prompt = self.base_prompt(task)
+
+        prompt, _finished = yield from self.react_loop(
+            trace, task, oracle, prompt, self.config.max_iterations
+        )
+        return self.finalize(trace, oracle)
+
+    # The loop is shared with Reflexion (each Reflexion trial is a ReAct episode).
+    def react_loop(
+        self,
+        trace: AgentRunResult,
+        task: Task,
+        oracle: TaskOracle,
+        prompt: Prompt,
+        max_iterations: int,
+    ):
+        """Run one reasoning/acting episode; returns (prompt, answered)."""
+        action_stream = self.seed_stream.substream(f"actions/{task.task_id}/{trace.trials}")
+        answered = False
+        for iteration in range(max_iterations):
+            trace.iterations += 1
+            if oracle.solved:
+                # The task is worked out: this call produces the final answer.
+                result = yield from self.llm_call(trace, prompt, "answer", oracle)
+                prompt.append(result.output_span())
+                answered = True
+                break
+
+            result = yield from self.llm_call(trace, prompt, "thought", oracle)
+            prompt.append(result.output_span())
+
+            action = self.workload.action_for(task, oracle.progress, action_stream)
+            tool_result = yield from self.tool_call(trace, action)
+            prompt.append(tool_result.observation_span)
+
+            oracle.attempt_step()
+            yield from self.overhead(trace)
+
+        if not answered:
+            # Budget exhausted (or solved on the very last iteration): the
+            # agent is forced to answer with whatever it has.
+            result = yield from self.llm_call(trace, prompt, "answer", oracle)
+            prompt.append(result.output_span())
+            answered = True
+        return prompt, answered

@@ -1,0 +1,60 @@
+"""Reflexion agent: ReAct trials with verbal self-reflection between trials."""
+
+from __future__ import annotations
+
+from repro.agents.config import AgentCapabilities
+from repro.agents.react import ReActAgent
+from repro.llm.tokenizer import SegmentKind
+from repro.workloads.base import Task
+
+
+class ReflexionAgent(ReActAgent):
+    """Episodic retry with self-evaluation and verbal reflection (Fig. 3c).
+
+    After each ReAct-style trial the agent evaluates its own outcome (an LLM
+    call acting as the internal reward signal).  If the evaluation flags a
+    failure and trials remain, the agent generates a reflection, stores it in
+    long-term memory (a reflection span prepended to the next trial's
+    context), and retries the task from scratch.  ``config.max_trials`` is the
+    sequential test-time-scaling knob studied in Fig. 16(a).
+    """
+
+    name = "reflexion"
+    capabilities = AgentCapabilities(reasoning=True, tool_use=True, reflection=True)
+
+    def run(self, task: Task):
+        trace = self.new_trace(task)
+        oracle = self.make_oracle(task)
+        reflection_spans = []
+
+        for trial in range(self.config.max_trials):
+            trace.trials = trial + 1
+            prompt = self.base_prompt(task)
+            for span in reflection_spans:
+                prompt.append(span)
+
+            prompt, _answered = yield from self.react_loop(
+                trace, task, oracle, prompt, self.config.max_iterations
+            )
+
+            answer_correct = oracle.judge_final_answer()
+            # Self-evaluation: one LLM call that scores the trajectory.
+            evaluation = yield from self.llm_call(trace, prompt, "reflection", oracle)
+            prompt.append(evaluation.output_span())
+            if not oracle.evaluator_detects_failure(answer_correct):
+                break
+            if trial == self.config.max_trials - 1:
+                break
+
+            # Reflection: abstract the failed trajectory into guidance for the
+            # next trial and keep it in long-term memory.
+            reflection = yield from self.llm_call(trace, prompt, "reflection", oracle)
+            reflection_spans.append(
+                # Reflections enter the next prompt as accumulated LLM history.
+                reflection.output_span()
+            )
+            oracle.note_reflection()
+            oracle.reset_trial()
+            yield from self.overhead(trace)
+
+        return self.finalize(trace, oracle)

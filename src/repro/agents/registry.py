@@ -1,0 +1,64 @@
+"""Agent registry and factory."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Type
+
+from repro.agents.base import BaseAgent
+from repro.agents.chatbot import ChatbotAgent
+from repro.agents.config import AgentConfig
+from repro.agents.cot import CoTAgent
+from repro.agents.lats import LATSAgent
+from repro.agents.llmcompiler import LLMCompilerAgent
+from repro.agents.react import ReActAgent
+from repro.agents.reflexion import ReflexionAgent
+from repro.llm.client import LLMClient
+from repro.sim import Environment
+from repro.sim.distributions import RandomStream
+from repro.tools.base import ToolSet
+from repro.workloads.base import Workload
+
+AGENT_CLASSES: Dict[str, Type[BaseAgent]] = {
+    CoTAgent.name: CoTAgent,
+    ReActAgent.name: ReActAgent,
+    ReflexionAgent.name: ReflexionAgent,
+    LATSAgent.name: LATSAgent,
+    LLMCompilerAgent.name: LLMCompilerAgent,
+    ChatbotAgent.name: ChatbotAgent,
+}
+
+#: the five agent workflows characterised by the paper (Table I order).
+PAPER_AGENTS = ("cot", "react", "reflexion", "lats", "llmcompiler")
+
+
+def available_agents() -> list[str]:
+    return sorted(AGENT_CLASSES)
+
+
+def get_agent_class(name: str) -> Type[BaseAgent]:
+    key = name.lower()
+    if key not in AGENT_CLASSES:
+        raise KeyError(f"unknown agent {name!r}; known: {available_agents()}")
+    return AGENT_CLASSES[key]
+
+
+def create_agent(
+    name: str,
+    *,
+    env: Environment,
+    client: LLMClient,
+    workload: Workload,
+    toolset: Optional[ToolSet] = None,
+    config: Optional[AgentConfig] = None,
+    seed_stream: Optional[RandomStream] = None,
+) -> BaseAgent:
+    """Instantiate an agent workflow bound to a workload and serving client."""
+    agent_class = get_agent_class(name)
+    return agent_class(
+        env=env,
+        client=client,
+        workload=workload,
+        toolset=toolset,
+        config=config,
+        seed_stream=seed_stream,
+    )

@@ -1,0 +1,48 @@
+"""Experiment and reporting layer: one function per paper table/figure."""
+
+from repro.analysis.reporting import format_table, format_value, print_table
+from repro.analysis.figures import (
+    CharacterizationMatrix,
+    characterization_matrix,
+    default_config,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+    figure11,
+    figure12,
+    figure13,
+    figure14,
+    figure15,
+    figure16,
+    figure17,
+)
+from repro.analysis.tables import table1, table2, table3, table4
+
+__all__ = [
+    "CharacterizationMatrix",
+    "characterization_matrix",
+    "default_config",
+    "figure11",
+    "figure12",
+    "figure13",
+    "figure14",
+    "figure15",
+    "figure16",
+    "figure17",
+    "figure4",
+    "figure5",
+    "figure6",
+    "figure7",
+    "figure8",
+    "figure9",
+    "format_table",
+    "format_value",
+    "print_table",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+]

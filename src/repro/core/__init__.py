@@ -1,0 +1,70 @@
+"""Characterization framework: the paper's primary contribution.
+
+This package turns raw simulator traces into the quantities the paper
+reports: latency breakdowns, GPU runtime/utilization, token-composition
+breakdowns, KV-memory statistics, per-query energy, accuracy-cost Pareto
+analysis, and datacenter-wide power projections.
+"""
+
+from repro.core.intervals import clip, intersect, merge_intervals, total_length
+from repro.core.metrics import (
+    GpuRuntimeBreakdown,
+    LatencyBreakdown,
+    LatencyStats,
+    TokenBreakdown,
+    mean,
+    percentile,
+)
+from repro.core.pareto import (
+    DesignPoint,
+    best_accuracy_point,
+    best_efficiency_point,
+    diminishing_returns,
+    is_dominated,
+    normalized_efficiency,
+    pareto_frontier,
+)
+from repro.core.datacenter import (
+    CHATGPT_QUERIES_PER_DAY,
+    GOOGLE_QUERIES_PER_DAY,
+    PowerProjection,
+    format_power,
+    gigawatt_threshold_energy_wh,
+    project_power,
+    project_scenarios,
+)
+from repro.core.runner import (
+    CharacterizationResult,
+    RequestObservation,
+    SingleRequestRunner,
+)
+
+__all__ = [
+    "CHATGPT_QUERIES_PER_DAY",
+    "CharacterizationResult",
+    "DesignPoint",
+    "GOOGLE_QUERIES_PER_DAY",
+    "GpuRuntimeBreakdown",
+    "LatencyBreakdown",
+    "LatencyStats",
+    "PowerProjection",
+    "RequestObservation",
+    "SingleRequestRunner",
+    "TokenBreakdown",
+    "best_accuracy_point",
+    "best_efficiency_point",
+    "clip",
+    "diminishing_returns",
+    "format_power",
+    "gigawatt_threshold_energy_wh",
+    "intersect",
+    "is_dominated",
+    "mean",
+    "merge_intervals",
+    "normalized_efficiency",
+    "pareto_frontier",
+    "percentile",
+    "project_power",
+    "project_scenarios",
+    "total_length",
+]

@@ -1,0 +1,237 @@
+"""Single-request characterization runner (paper Section IV-A/IV-B setup).
+
+The paper first characterises agents while serving one request at a time: the
+runner reproduces that setup by building a fresh serving engine per
+experiment, running the sampled tasks sequentially through the chosen agent,
+and recording, for every request, the agent trace plus the engine-side
+observations over the request's time window (GPU runtime breakdown, KV-cache
+memory, energy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.agents import AgentConfig, AgentRunResult, create_agent
+from repro.core.metrics import (
+    GpuRuntimeBreakdown,
+    LatencyBreakdown,
+    LatencyStats,
+    TokenBreakdown,
+    mean,
+)
+from repro.llm import EngineConfig, LLMClient, LLMEngine
+from repro.llm.energy import PowerState
+from repro.llm.models import get_model
+from repro.sim import Environment, RandomStream
+from repro.workloads import create_workload
+from repro.workloads.base import Task
+
+
+@dataclass(frozen=True)
+class RequestObservation:
+    """One request's agent trace plus engine-side measurements."""
+
+    result: AgentRunResult
+    energy_wh: float
+    energy_joules_by_state: Dict[PowerState, float]
+    gpu: GpuRuntimeBreakdown
+    kv_average_bytes: float
+    kv_max_bytes: float
+
+    @property
+    def latency(self) -> float:
+        return self.result.e2e_latency
+
+    @property
+    def latency_breakdown(self) -> LatencyBreakdown:
+        return LatencyBreakdown.from_result(self.result)
+
+    @property
+    def token_breakdown(self) -> TokenBreakdown:
+        return TokenBreakdown.from_result(self.result)
+
+
+@dataclass
+class CharacterizationResult:
+    """Aggregate of a single-request characterization experiment."""
+
+    agent: str
+    benchmark: str
+    model: str
+    config: AgentConfig
+    prefix_caching: bool
+    observations: List[RequestObservation] = field(default_factory=list)
+
+    # -- aggregates -----------------------------------------------------------
+    @property
+    def num_requests(self) -> int:
+        return len(self.observations)
+
+    @property
+    def latencies(self) -> List[float]:
+        return [obs.latency for obs in self.observations]
+
+    @property
+    def latency_stats(self) -> LatencyStats:
+        return LatencyStats.from_values(self.latencies)
+
+    @property
+    def mean_latency(self) -> float:
+        return mean(self.latencies)
+
+    @property
+    def accuracy(self) -> float:
+        if not self.observations:
+            return 0.0
+        return mean([1.0 if obs.result.answer_correct else 0.0 for obs in self.observations])
+
+    @property
+    def mean_score(self) -> float:
+        if not self.observations:
+            return 0.0
+        return mean([obs.result.score for obs in self.observations])
+
+    @property
+    def mean_llm_calls(self) -> float:
+        return mean([obs.result.num_llm_calls for obs in self.observations])
+
+    @property
+    def mean_tool_calls(self) -> float:
+        return mean([obs.result.num_tool_calls for obs in self.observations])
+
+    @property
+    def mean_energy_wh(self) -> float:
+        return mean([obs.energy_wh for obs in self.observations])
+
+    @property
+    def mean_total_tokens(self) -> float:
+        return mean([obs.result.total_tokens for obs in self.observations])
+
+    @property
+    def mean_prefill_time(self) -> float:
+        return mean(
+            [sum(r.prefill_time for r in obs.result.llm_calls) for obs in self.observations]
+        )
+
+    @property
+    def mean_decode_time(self) -> float:
+        return mean(
+            [sum(r.decode_time for r in obs.result.llm_calls) for obs in self.observations]
+        )
+
+    @property
+    def mean_llm_inference_latency(self) -> float:
+        """Average summed LLM-call latency per request (paper Fig. 9's metric)."""
+        return mean(
+            [sum(r.e2e_latency for r in obs.result.llm_calls) for obs in self.observations]
+        )
+
+    @property
+    def mean_kv_bytes(self) -> float:
+        return mean([obs.kv_average_bytes for obs in self.observations])
+
+    @property
+    def max_kv_bytes(self) -> float:
+        if not self.observations:
+            return 0.0
+        return max(obs.kv_max_bytes for obs in self.observations)
+
+    def latency_breakdown(self) -> LatencyBreakdown:
+        return LatencyBreakdown.average(obs.latency_breakdown for obs in self.observations)
+
+    def token_breakdown(self) -> TokenBreakdown:
+        return TokenBreakdown.average(obs.token_breakdown for obs in self.observations)
+
+    def gpu_breakdown(self) -> GpuRuntimeBreakdown:
+        return GpuRuntimeBreakdown.average(obs.gpu for obs in self.observations)
+
+
+class SingleRequestRunner:
+    """Runs (agent, benchmark, config) experiments one request at a time."""
+
+    def __init__(
+        self,
+        model: str = "8b",
+        enable_prefix_caching: bool = True,
+        seed: int = 0,
+        max_decode_chunk: int = 1,
+    ):
+        self.model_name = model
+        self.enable_prefix_caching = enable_prefix_caching
+        self.seed = seed
+        self.max_decode_chunk = max_decode_chunk
+
+    # -- engine/workload assembly ------------------------------------------------
+    def _build(self, benchmark: str):
+        env = Environment()
+        engine = LLMEngine(
+            env,
+            EngineConfig(
+                model=get_model(self.model_name),
+                enable_prefix_caching=self.enable_prefix_caching,
+                max_decode_chunk=self.max_decode_chunk,
+            ),
+        )
+        client = LLMClient(env, engine)
+        workload = create_workload(benchmark, seed=self.seed)
+        return env, engine, client, workload
+
+    # -- experiment -----------------------------------------------------------------
+    def run(
+        self,
+        agent_name: str,
+        benchmark: str,
+        config: Optional[AgentConfig] = None,
+        num_tasks: int = 20,
+        tasks: Optional[List[Task]] = None,
+    ) -> CharacterizationResult:
+        """Characterise ``agent_name`` on ``benchmark`` over ``num_tasks`` requests."""
+        config = config or AgentConfig()
+        env, engine, client, workload = self._build(benchmark)
+        if tasks is None:
+            tasks = workload.sample_tasks(num_tasks)
+
+        needs_tools = agent_name.lower() not in ("cot", "chatbot")
+        toolset = (
+            workload.build_toolset(env, client.tokenizer, client) if needs_tools else None
+        )
+        agent = create_agent(
+            agent_name,
+            env=env,
+            client=client,
+            workload=workload,
+            toolset=toolset,
+            config=config,
+            seed_stream=RandomStream(self.seed, f"runner/{agent_name}/{benchmark}"),
+        )
+
+        outcome = CharacterizationResult(
+            agent=agent_name,
+            benchmark=benchmark,
+            model=engine.model.name,
+            config=config,
+            prefix_caching=self.enable_prefix_caching,
+        )
+        for task in tasks:
+            start_time = env.now
+            energy_before = engine.energy.snapshot()
+            result: AgentRunResult = env.run(agent.run_process(task))
+            end_time = env.now
+            window = engine.energy.since(energy_before)
+            gpu = GpuRuntimeBreakdown.from_engine_window(
+                engine.runtime_breakdown(start_time, end_time)
+            )
+            kv_stats = engine.kv_memory_stats(start_time, end_time)
+            outcome.observations.append(
+                RequestObservation(
+                    result=result,
+                    energy_wh=window.total_wh,
+                    energy_joules_by_state=dict(window.joules_by_state),
+                    gpu=gpu,
+                    kv_average_bytes=kv_stats["average_bytes"],
+                    kv_max_bytes=kv_stats["max_bytes"],
+                )
+            )
+        return outcome

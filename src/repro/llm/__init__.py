@@ -1,0 +1,61 @@
+"""Simulated LLM serving stack (vLLM-style) used as the paper's backend.
+
+The subpackage models the full serving path the paper measures on real
+hardware:
+
+* :mod:`repro.llm.models` / :mod:`repro.llm.hardware` -- Llama-3.1 8B / 70B
+  model specifications and A100-40GB cluster specifications.
+* :mod:`repro.llm.perf` -- roofline performance model for prefill and decode
+  engine steps (compute-bound prefill, memory-bound decode).
+* :mod:`repro.llm.kvcache` / :mod:`repro.llm.prefix_cache` -- paged KV-cache
+  block allocator and hash-based prefix caching with LRU eviction.
+* :mod:`repro.llm.scheduler` / :mod:`repro.llm.engine` -- FCFS continuous
+  batching and the discrete-event engine loop, including per-step energy and
+  utilization accounting.
+* :mod:`repro.llm.client` -- the OpenAI-style client facade agents call.
+"""
+
+from repro.llm.models import ModelSpec, LLAMA_3_1_8B, LLAMA_3_1_70B, get_model
+from repro.llm.hardware import GPUSpec, ClusterSpec, A100_40GB, cluster_for_model
+from repro.llm.perf import PerformanceModel
+from repro.llm.energy import EnergyMeter, PowerState
+from repro.llm.tokenizer import SyntheticTokenizer, TokenSpan, Prompt, SegmentKind
+from repro.llm.request import LLMRequest, LLMResult, RequestState, SamplingParams
+from repro.llm.kvcache import BlockAllocator, KVCacheConfig
+from repro.llm.prefix_cache import PrefixCache
+from repro.llm.scheduler import Scheduler, SchedulerConfig, ScheduledStep, StepKind
+from repro.llm.engine import EngineConfig, EngineStepRecord, LLMEngine
+from repro.llm.client import LLMClient
+
+__all__ = [
+    "A100_40GB",
+    "BlockAllocator",
+    "ClusterSpec",
+    "EngineConfig",
+    "EngineStepRecord",
+    "EnergyMeter",
+    "GPUSpec",
+    "KVCacheConfig",
+    "LLAMA_3_1_70B",
+    "LLAMA_3_1_8B",
+    "LLMClient",
+    "LLMEngine",
+    "LLMRequest",
+    "LLMResult",
+    "ModelSpec",
+    "PerformanceModel",
+    "PowerState",
+    "PrefixCache",
+    "Prompt",
+    "RequestState",
+    "SamplingParams",
+    "ScheduledStep",
+    "Scheduler",
+    "SchedulerConfig",
+    "SegmentKind",
+    "StepKind",
+    "SyntheticTokenizer",
+    "TokenSpan",
+    "cluster_for_model",
+    "get_model",
+]

@@ -1,0 +1,315 @@
+"""The simulated LLM serving engine.
+
+The engine is a single simulation process that mirrors a vLLM engine loop:
+
+1. ask the scheduler for the next step (prefill or decode),
+2. advance simulated time by the step duration from the roofline model,
+3. apply the step's effects (first token after prefill, one token per
+   running sequence per decode step, completions, block bookkeeping),
+4. account energy for the time spent in the step's power state,
+5. when there is no work, sleep at idle power until a request arrives.
+
+Every step is recorded so experiments can compute GPU-runtime breakdowns,
+utilization, and KV-memory statistics exactly the way the paper reports them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.llm.energy import EnergyMeter, PowerState
+from repro.llm.hardware import ClusterSpec, cluster_for_model
+from repro.llm.kvcache import KVCacheConfig
+from repro.llm.models import ModelSpec, LLAMA_3_1_8B
+from repro.llm.perf import PerformanceModel
+from repro.llm.prefix_cache import PrefixCache
+from repro.llm.request import LLMRequest, RequestState
+from repro.llm.scheduler import ScheduledStep, Scheduler, SchedulerConfig, StepKind
+from repro.llm.tokenizer import SyntheticTokenizer
+from repro.sim import Environment, Event
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Complete configuration of one serving engine (one model replica)."""
+
+    model: ModelSpec = LLAMA_3_1_8B
+    cluster: Optional[ClusterSpec] = None
+    block_size: int = 16
+    enable_prefix_caching: bool = True
+    scheduler: SchedulerConfig = field(default_factory=SchedulerConfig)
+    # Number of decode tokens the engine may batch into one simulated step
+    # when no request is waiting for admission.  1 = exact token-level
+    # simulation; larger values trade a bounded amount of queueing fidelity
+    # (new arrivals wait for the in-flight chunk) for simulation speed.
+    max_decode_chunk: int = 1
+
+    def resolved_cluster(self) -> ClusterSpec:
+        return self.cluster if self.cluster is not None else cluster_for_model(self.model)
+
+
+@dataclass(frozen=True)
+class EngineStepRecord:
+    """One engine step (or idle period) for offline analysis."""
+
+    start: float
+    duration: float
+    kind: str                      # "prefill" | "decode" | "idle"
+    batch_size: int
+    new_tokens: int
+    cached_tokens: int
+    generated_tokens: int
+    kv_blocks_active: int
+    kv_bytes_active: float
+    num_waiting: int
+    energy_joules: float
+
+
+class LLMEngine:
+    """Discrete-event vLLM-style engine bound to a simulation environment."""
+
+    def __init__(self, env: Environment, config: EngineConfig):
+        self.env = env
+        self.config = config
+        self.model = config.model
+        self.cluster = config.resolved_cluster()
+        self.perf = PerformanceModel(model=self.model, cluster=self.cluster)
+        kv_config = KVCacheConfig.from_hardware(
+            model=self.model,
+            cluster=self.cluster,
+            block_size=config.block_size,
+            enable_prefix_caching=config.enable_prefix_caching,
+        )
+        self.kv_cache = PrefixCache(kv_config)
+        self.scheduler = Scheduler(config.scheduler, self.kv_cache)
+        self.energy = EnergyMeter(cluster=self.cluster)
+        self.tokenizer = SyntheticTokenizer(vocab_size=self.model.vocab_size)
+
+        self.step_records: List[EngineStepRecord] = []
+        self.completed_requests: List[LLMRequest] = []
+        self.total_generated_tokens: int = 0
+        self.total_prefill_tokens: int = 0
+
+        self._wakeup: Optional[Event] = None
+        self._idle_since: Optional[float] = None
+        self._process = env.process(self._run())
+
+    # -- public API ---------------------------------------------------------
+    def submit(self, request: LLMRequest) -> Event:
+        """Queue a request; returns the event that fires with its LLMResult."""
+        request.timings.arrival = self.env.now
+        completion = self.env.event()
+        request.completion_event = completion
+        self.scheduler.add_request(request)
+        self._wake()
+        return completion
+
+    @property
+    def num_pending_requests(self) -> int:
+        return self.scheduler.num_waiting + self.scheduler.num_running
+
+    # -- engine loop ----------------------------------------------------------
+    def _wake(self) -> None:
+        if self._wakeup is not None and not self._wakeup.triggered:
+            self._wakeup.succeed()
+
+    def _run(self):
+        while True:
+            step = self.scheduler.schedule(now=self.env.now)
+            if step is None:
+                yield from self._idle_until_work()
+                continue
+            if step.kind == StepKind.PREFILL:
+                yield from self._execute_prefill(step)
+            else:
+                yield from self._execute_decode(step)
+
+    def _idle_until_work(self):
+        idle_start = self.env.now
+        self._idle_since = idle_start
+        self._wakeup = self.env.event()
+        yield self._wakeup
+        self._wakeup = None
+        self._idle_since = None
+        duration = self.env.now - idle_start
+        if duration > 0:
+            joules = self.energy.record(PowerState.IDLE, duration)
+            self._record_step(
+                start=idle_start,
+                duration=duration,
+                kind="idle",
+                batch_size=0,
+                new_tokens=0,
+                cached_tokens=0,
+                generated_tokens=0,
+                energy_joules=joules,
+            )
+
+    def _execute_prefill(self, step: ScheduledStep):
+        start = self.env.now
+        new_tokens = step.new_prefill_tokens
+        cached_tokens = step.cached_prefill_tokens
+        duration = self.perf.prefill_time(new_tokens, cached_tokens)
+        yield self.env.timeout(duration)
+        joules = self.energy.record(PowerState.PREFILL, duration)
+
+        generated = 0
+        for item in step.prefills:
+            request = item.request
+            share = item.new_tokens / max(new_tokens, 1)
+            request.timings.prefill_time += duration * share
+            # Prefill produces the first output token.
+            self._append_output_token(request)
+            generated += 1
+            if request.timings.first_token is None:
+                request.timings.first_token = self.env.now
+        self.scheduler.on_prefill_complete(step.prefills)
+        self.total_prefill_tokens += new_tokens
+        self.total_generated_tokens += generated
+        self._finish_completed([item.request for item in step.prefills])
+        self._record_step(
+            start=start,
+            duration=duration,
+            kind="prefill",
+            batch_size=step.batch_size,
+            new_tokens=new_tokens,
+            cached_tokens=cached_tokens,
+            generated_tokens=generated,
+            energy_joules=joules,
+        )
+
+    def _execute_decode(self, step: ScheduledStep):
+        start = self.env.now
+        if not step.decodes:
+            # Everything got preempted; yield a minimal scheduling delay so
+            # the loop makes progress and retries admission.
+            duration = self.cluster.step_overhead
+            yield self.env.timeout(duration)
+            self.energy.record(PowerState.IDLE, duration)
+            return
+
+        chunk = self._decode_chunk_size(step)
+        context_lengths = [request.context_length for request in step.decodes]
+        duration = 0.0
+        for offset in range(chunk):
+            duration += self.perf.decode_step_time(
+                [length + offset for length in context_lengths]
+            )
+        if chunk > 1:
+            # Reserve KV space for the extra tokens of the chunk up front.
+            for request in step.decodes:
+                for _ in range(chunk - 1):
+                    self.kv_cache.append_token(request, now=self.env.now)
+        yield self.env.timeout(duration)
+        joules = self.energy.record(PowerState.DECODE, duration)
+
+        generated = 0
+        for request in step.decodes:
+            request.timings.decode_time += duration
+            tokens_for_request = min(chunk, request.remaining_output_tokens)
+            for _ in range(max(tokens_for_request, 1)):
+                self._append_output_token(request)
+                generated += 1
+        self.total_generated_tokens += generated
+        self._finish_completed(step.decodes)
+        self._record_step(
+            start=start,
+            duration=duration,
+            kind="decode",
+            batch_size=len(step.decodes),
+            new_tokens=0,
+            cached_tokens=0,
+            generated_tokens=generated,
+            energy_joules=joules,
+        )
+
+    def _decode_chunk_size(self, step: ScheduledStep) -> int:
+        """Tokens to decode in one simulated step (bounded fast-forwarding)."""
+        max_chunk = max(1, self.config.max_decode_chunk)
+        if max_chunk == 1 or self.scheduler.num_waiting > 0:
+            return 1
+        remaining = min(request.remaining_output_tokens for request in step.decodes)
+        return max(1, min(max_chunk, remaining))
+
+    # -- helpers -------------------------------------------------------------
+    def _append_output_token(self, request: LLMRequest) -> None:
+        position = request.num_output_tokens
+        token = self.tokenizer.synthetic_tokens(
+            f"output:{request.request_id}", position + 1
+        )[position]
+        request.output_token_ids.append(token)
+
+    def _finish_completed(self, requests: List[LLMRequest]) -> None:
+        for request in requests:
+            if request.num_output_tokens < request.target_output_tokens:
+                continue
+            if request.state == RequestState.FINISHED:
+                continue
+            request.timings.finished = self.env.now
+            self.scheduler.finish_request(request, now=self.env.now)
+            self.completed_requests.append(request)
+            if request.completion_event is not None:
+                request.completion_event.succeed(request.to_result())
+
+    def _record_step(
+        self,
+        start: float,
+        duration: float,
+        kind: str,
+        batch_size: int,
+        new_tokens: int,
+        cached_tokens: int,
+        generated_tokens: int,
+        energy_joules: float,
+    ) -> None:
+        self.step_records.append(
+            EngineStepRecord(
+                start=start,
+                duration=duration,
+                kind=kind,
+                batch_size=batch_size,
+                new_tokens=new_tokens,
+                cached_tokens=cached_tokens,
+                generated_tokens=generated_tokens,
+                kv_blocks_active=self.kv_cache.active_blocks(),
+                kv_bytes_active=self.kv_cache.active_bytes(),
+                num_waiting=self.scheduler.num_waiting,
+                energy_joules=energy_joules,
+            )
+        )
+
+    # -- reporting -------------------------------------------------------------
+    def runtime_breakdown(self, start: float = 0.0, end: Optional[float] = None) -> Dict[str, float]:
+        """Seconds spent per step kind within ``[start, end]``."""
+        end = end if end is not None else float("inf")
+        breakdown = {"prefill": 0.0, "decode": 0.0, "idle": 0.0}
+        for record in self.step_records:
+            record_end = record.start + record.duration
+            overlap = min(record_end, end) - max(record.start, start)
+            if overlap > 0:
+                breakdown[record.kind] += overlap
+        if self._idle_since is not None:
+            # Account the idle period that is still open at observation time.
+            open_end = min(self.env.now, end)
+            overlap = open_end - max(self._idle_since, start)
+            if overlap > 0:
+                breakdown["idle"] += overlap
+        return breakdown
+
+    def kv_memory_stats(self, start: float = 0.0, end: Optional[float] = None) -> Dict[str, float]:
+        """Time-weighted average and maximum active KV-cache bytes in a window."""
+        end = end if end is not None else float("inf")
+        total_time = 0.0
+        weighted = 0.0
+        maximum = 0.0
+        for record in self.step_records:
+            record_end = record.start + record.duration
+            overlap = min(record_end, end) - max(record.start, start)
+            if overlap <= 0:
+                continue
+            total_time += overlap
+            weighted += record.kv_bytes_active * overlap
+            maximum = max(maximum, record.kv_bytes_active)
+        average = weighted / total_time if total_time > 0 else 0.0
+        return {"average_bytes": average, "max_bytes": maximum}

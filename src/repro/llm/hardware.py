@@ -1,0 +1,119 @@
+"""GPU and cluster hardware specifications.
+
+The paper's testbed is GCP ``a2-highgpu-1g`` (1x A100-40GB) for the 8B model
+and ``a2-highgpu-8g`` (8x A100-40GB, tensor parallel) for the 70B model.  The
+specification carries the roofline inputs (peak FLOPs, HBM bandwidth, memory
+capacity) and the power-state model used for energy accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.llm.models import ModelSpec, LLAMA_3_1_70B, LLAMA_3_1_8B
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """Per-GPU hardware characteristics."""
+
+    name: str
+    peak_flops: float            # dense bf16 FLOP/s
+    mem_bandwidth: float         # HBM bytes/s
+    mem_capacity: float          # bytes
+    idle_power_w: float          # power while the engine has no work
+    decode_power_w: float        # power during memory-bound decode steps
+    prefill_power_w: float       # power during compute-bound prefill steps
+    mfu_prefill: float = 0.52    # achieved fraction of peak FLOPs in prefill
+    mbu_decode: float = 0.62     # achieved fraction of HBM bandwidth in decode
+
+
+A100_40GB = GPUSpec(
+    name="A100-SXM4-40GB",
+    peak_flops=312e12,
+    mem_bandwidth=1.555e12,
+    mem_capacity=40e9,
+    idle_power_w=62.0,
+    decode_power_w=272.0,
+    prefill_power_w=388.0,
+)
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A tensor-parallel group of identical GPUs serving one model replica."""
+
+    gpu: GPUSpec = A100_40GB
+    tensor_parallel: int = 1
+    # Fraction of GPU memory vLLM may use (its gpu_memory_utilization knob).
+    gpu_memory_utilization: float = 0.90
+    # Non-weight, non-KV overhead reserved per GPU (activations, CUDA graphs).
+    activation_overhead_bytes: float = 2.0e9
+    # Fixed per-engine-step overheads (kernel launch, sampling, scheduling);
+    # tensor parallelism adds all-reduce latency per step.
+    step_overhead_s: float = 0.004
+    tp_comm_overhead_s: float = 0.0015
+    # Memory-bound decode keeps large TP groups less busy per GPU, which shows
+    # up as lower per-GPU power draw (calibrated to the paper's 70B energy).
+    tp_power_efficiency: float = 0.62
+
+    @property
+    def num_gpus(self) -> int:
+        return self.tensor_parallel
+
+    @property
+    def total_peak_flops(self) -> float:
+        return self.gpu.peak_flops * self.tensor_parallel
+
+    @property
+    def total_mem_bandwidth(self) -> float:
+        return self.gpu.mem_bandwidth * self.tensor_parallel
+
+    @property
+    def step_overhead(self) -> float:
+        extra = self.tp_comm_overhead_s if self.tensor_parallel > 1 else 0.0
+        return self.step_overhead_s + extra
+
+    def kv_cache_bytes(self, model: ModelSpec) -> float:
+        """GPU bytes available for the KV cache after weights and overheads."""
+        usable = self.gpu.mem_capacity * self.gpu_memory_utilization * self.tensor_parallel
+        reserved = model.weight_bytes + self.activation_overhead_bytes * self.tensor_parallel
+        available = usable - reserved
+        if available <= 0:
+            raise ValueError(
+                f"model {model.name} does not fit on {self.tensor_parallel}x {self.gpu.name}"
+            )
+        return available
+
+    def power_w(self, state: str) -> float:
+        """Cluster-wide power draw (all GPUs) for an engine power state."""
+        gpu = self.gpu
+        if state == "idle":
+            per_gpu = gpu.idle_power_w
+        elif state == "decode":
+            per_gpu = gpu.decode_power_w
+        elif state == "prefill":
+            per_gpu = gpu.prefill_power_w
+        else:
+            raise ValueError(f"unknown power state: {state!r}")
+        if state != "idle" and self.tensor_parallel > 1:
+            active = per_gpu - gpu.idle_power_w
+            per_gpu = gpu.idle_power_w + active * self.tp_power_efficiency
+        return per_gpu * self.tensor_parallel
+
+
+def cluster_for_model(model: ModelSpec) -> ClusterSpec:
+    """The paper's default cluster for a given backend model."""
+    if model.name == LLAMA_3_1_8B.name:
+        return ClusterSpec(gpu=A100_40GB, tensor_parallel=1)
+    if model.name == LLAMA_3_1_70B.name:
+        return ClusterSpec(gpu=A100_40GB, tensor_parallel=8)
+    # Default: smallest TP that fits the weights plus some KV headroom.
+    for tp in (1, 2, 4, 8, 16):
+        cluster = ClusterSpec(gpu=A100_40GB, tensor_parallel=tp)
+        try:
+            cluster.kv_cache_bytes(model)
+        except ValueError:
+            continue
+        return cluster
+    raise ValueError(f"no cluster configuration fits model {model.name}")

@@ -1,0 +1,98 @@
+"""Model specifications for the backend LLMs used in the paper.
+
+The paper serves Llama-3.1-8B-Instruct on a single A100-40GB and
+Llama-3.1-70B-Instruct on eight A100-40GB GPUs (tensor parallel).  The
+performance and memory models only need a handful of architectural numbers:
+parameter count, layer/head geometry (for KV-cache sizing) and weight dtype.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """Architecture description of a decoder-only transformer."""
+
+    name: str
+    n_params: float
+    n_layers: int
+    hidden_size: int
+    n_heads: int
+    n_kv_heads: int
+    intermediate_size: int
+    vocab_size: int
+    max_model_len: int = 32768
+    dtype_bytes: int = 2  # bf16 weights and KV cache
+
+    @property
+    def head_dim(self) -> int:
+        return self.hidden_size // self.n_heads
+
+    @property
+    def weight_bytes(self) -> float:
+        """Total bytes of model weights."""
+        return self.n_params * self.dtype_bytes
+
+    @property
+    def kv_bytes_per_token(self) -> float:
+        """KV-cache bytes stored per token (keys + values, all layers)."""
+        return 2.0 * self.n_layers * self.n_kv_heads * self.head_dim * self.dtype_bytes
+
+    def flops_per_token(self, context_len: float = 0.0) -> float:
+        """Approximate forward FLOPs to process one token.
+
+        ``2 * params`` covers the dense matmuls; the attention term grows
+        linearly with the context length already resident in the KV cache.
+        """
+        dense = 2.0 * self.n_params
+        attention = 4.0 * self.n_layers * self.hidden_size * max(context_len, 0.0)
+        return dense + attention
+
+    def prefill_flops(self, n_new_tokens: int, n_cached_tokens: int = 0) -> float:
+        """FLOPs for prefilling ``n_new_tokens`` on top of a cached prefix."""
+        if n_new_tokens <= 0:
+            return 0.0
+        # Average context seen by the new tokens: cached prefix plus half of
+        # the new tokens themselves (causal attention).
+        avg_context = n_cached_tokens + n_new_tokens / 2.0
+        return n_new_tokens * self.flops_per_token(avg_context)
+
+
+LLAMA_3_1_8B = ModelSpec(
+    name="llama-3.1-8b-instruct",
+    n_params=8.03e9,
+    n_layers=32,
+    hidden_size=4096,
+    n_heads=32,
+    n_kv_heads=8,
+    intermediate_size=14336,
+    vocab_size=128256,
+)
+
+LLAMA_3_1_70B = ModelSpec(
+    name="llama-3.1-70b-instruct",
+    n_params=70.6e9,
+    n_layers=80,
+    hidden_size=8192,
+    n_heads=64,
+    n_kv_heads=8,
+    intermediate_size=28672,
+    vocab_size=128256,
+)
+
+_MODELS = {
+    "8b": LLAMA_3_1_8B,
+    "70b": LLAMA_3_1_70B,
+    LLAMA_3_1_8B.name: LLAMA_3_1_8B,
+    LLAMA_3_1_70B.name: LLAMA_3_1_70B,
+}
+
+
+def get_model(name: str) -> ModelSpec:
+    """Look up a model spec by short ("8b"/"70b") or full name."""
+    key = name.lower()
+    if key not in _MODELS:
+        raise KeyError(f"unknown model: {name!r} (known: {sorted(_MODELS)})")
+    return _MODELS[key]

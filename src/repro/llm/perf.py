@@ -1,0 +1,90 @@
+"""Roofline performance model for engine steps.
+
+The paper's latency observations follow from two well-known facts about
+transformer serving that the model reproduces:
+
+* **Prefill is compute-bound** -- time scales with new prompt tokens
+  (quadratic-ish in context via attention), so long agent prompts make
+  prefill expensive and prefix caching (which removes cached tokens from the
+  prefill) helps a lot.
+* **Decode is memory-bound** -- every step reads all weights plus the KV
+  cache of every running sequence, so per-token latency is roughly constant
+  for small batches and grows slowly with batch size / context length.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.llm.hardware import ClusterSpec
+from repro.llm.models import ModelSpec
+
+
+@dataclass(frozen=True)
+class PerformanceModel:
+    """Computes simulated durations of prefill and decode engine steps."""
+
+    model: ModelSpec
+    cluster: ClusterSpec
+
+    # -- prefill ----------------------------------------------------------
+    def prefill_time(
+        self,
+        new_tokens: int,
+        cached_tokens: int = 0,
+    ) -> float:
+        """Duration of a prefill step computing ``new_tokens`` prompt tokens.
+
+        ``cached_tokens`` are prefix tokens whose KV entries already exist
+        (prefix-cache hit); they contribute attention context but no dense
+        compute.
+        """
+        if new_tokens <= 0:
+            return self.cluster.step_overhead
+        flops = self.model.prefill_flops(new_tokens, cached_tokens)
+        compute_time = flops / (
+            self.cluster.total_peak_flops * self.cluster.gpu.mfu_prefill
+        )
+        # Weights still have to be streamed once per step.
+        weight_time = self.model.weight_bytes / (
+            self.cluster.total_mem_bandwidth * self.cluster.gpu.mbu_decode
+        )
+        return max(compute_time, weight_time) + self.cluster.step_overhead
+
+    # -- decode -----------------------------------------------------------
+    def decode_step_time(self, context_lengths: Sequence[int]) -> float:
+        """Duration of one decode step producing one token per running sequence.
+
+        ``context_lengths`` holds the current context length (prompt +
+        generated so far) of each sequence in the running batch.
+        """
+        batch_size = len(context_lengths)
+        if batch_size == 0:
+            return 0.0
+        weight_bytes = self.model.weight_bytes
+        kv_bytes = self.model.kv_bytes_per_token * float(sum(context_lengths))
+        memory_time = (weight_bytes + kv_bytes) / (
+            self.cluster.total_mem_bandwidth * self.cluster.gpu.mbu_decode
+        )
+        # Dense FLOPs for the batch; only matters for very large batches.
+        flops = sum(self.model.flops_per_token(ctx) for ctx in context_lengths)
+        compute_time = flops / (
+            self.cluster.total_peak_flops * self.cluster.gpu.mfu_prefill
+        )
+        return max(memory_time, compute_time) + self.cluster.step_overhead
+
+    # -- convenience ------------------------------------------------------
+    def generation_time(
+        self,
+        prompt_tokens: int,
+        output_tokens: int,
+        cached_tokens: int = 0,
+    ) -> float:
+        """Latency of a single request run alone (no batching interference)."""
+        total = self.prefill_time(prompt_tokens - cached_tokens, cached_tokens)
+        context = prompt_tokens
+        for _ in range(max(output_tokens - 1, 0)):
+            total += self.decode_step_time([context])
+            context += 1
+        return total

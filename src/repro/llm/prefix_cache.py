@@ -1,0 +1,189 @@
+"""Prefix caching and per-sequence block-table management.
+
+This layer sits between the scheduler and the raw block allocator.  It
+
+* finds the longest cached prefix of a request's prompt (block granularity,
+  chained block hashes) and reuses those blocks instead of recomputing them,
+* allocates fresh blocks for the rest of the prompt and for generated tokens,
+* registers newly computed full blocks in the cache so later LLM calls of the
+  same agent request (which share the growing interaction history) and other
+  requests (which share instruction/few-shot prefixes) can reuse them,
+* frees sequences on completion while leaving cached blocks evictable.
+
+With ``enable_prefix_caching=False`` every request recomputes and stores its
+entire context privately, matching the paper's "w/o prefix caching" baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.llm.kvcache import BlockAllocator, KVCacheConfig, KVCacheOutOfMemory
+from repro.llm.request import LLMRequest
+from repro.llm.tokenizer import block_hashes
+
+
+@dataclass
+class SequenceAllocation:
+    """Block table and cache-hit information for a scheduled request."""
+
+    request_id: int
+    block_ids: List[int]
+    num_cached_tokens: int
+    block_hashes: List[int]
+
+
+class PrefixCache:
+    """Prefix-aware KV-cache manager for the serving engine."""
+
+    def __init__(self, config: KVCacheConfig):
+        self.config = config
+        self.allocator = BlockAllocator(config)
+        self._allocations: Dict[int, SequenceAllocation] = {}
+        # Cumulative counters for cache-efficiency reporting.
+        self.cached_token_hits: int = 0
+        self.prompt_tokens_seen: int = 0
+
+    # -- inspection -------------------------------------------------------
+    @property
+    def block_size(self) -> int:
+        return self.config.block_size
+
+    @property
+    def enabled(self) -> bool:
+        return self.config.enable_prefix_caching
+
+    def peek_cached_tokens(self, token_ids: Sequence[int]) -> int:
+        """Number of prompt tokens that would hit the cache (no side effects)."""
+        if not self.enabled:
+            return 0
+        hits = 0
+        for content_hash in block_hashes(token_ids, self.block_size):
+            if self.allocator.lookup_hash(content_hash) is None:
+                break
+            hits += 1
+        return hits * self.block_size
+
+    def blocks_needed(self, request: LLMRequest) -> int:
+        """Blocks a prefill allocation would need for ``request`` right now."""
+        total_tokens = request.num_prompt_tokens
+        cached_tokens = self.peek_cached_tokens(request.prompt_token_ids)
+        cached_blocks = cached_tokens // self.block_size
+        total_blocks = -(-total_tokens // self.block_size)  # ceil
+        return total_blocks - cached_blocks
+
+    def hit_rate(self) -> float:
+        if self.prompt_tokens_seen == 0:
+            return 0.0
+        return self.cached_token_hits / self.prompt_tokens_seen
+
+    def active_bytes(self) -> float:
+        return self.allocator.active_bytes
+
+    def active_blocks(self) -> int:
+        return self.allocator.num_active_blocks
+
+    def num_free_blocks(self) -> int:
+        return self.allocator.num_free_blocks
+
+    # -- prefill ------------------------------------------------------------
+    def allocate_sequence(
+        self, request: LLMRequest, now: float = 0.0
+    ) -> Optional[SequenceAllocation]:
+        """Allocate the block table for ``request``'s prompt.
+
+        Returns ``None`` when the KV cache cannot currently hold the request
+        (the scheduler will retry later or preempt).  At most one token of
+        prefill work is always left even on a full-prefix hit, mirroring
+        vLLM's requirement to recompute the final token for sampling.
+        """
+        if request.request_id in self._allocations:
+            raise ValueError(f"request {request.request_id} already allocated")
+
+        token_ids = request.prompt_token_ids
+        hashes = block_hashes(token_ids, self.block_size)
+        cached_block_ids: List[int] = []
+        if self.enabled:
+            for content_hash in hashes:
+                block_id = self.allocator.lookup_hash(content_hash)
+                if block_id is None:
+                    break
+                cached_block_ids.append(block_id)
+
+        num_cached_tokens = len(cached_block_ids) * self.block_size
+        # Keep at least one token to compute so the engine produces logits.
+        if num_cached_tokens >= request.num_prompt_tokens:
+            cached_block_ids = cached_block_ids[:-1]
+            num_cached_tokens = len(cached_block_ids) * self.block_size
+
+        total_blocks = -(-request.num_prompt_tokens // self.block_size)
+        fresh_needed = total_blocks - len(cached_block_ids)
+        if not self.allocator.can_allocate(fresh_needed):
+            return None
+
+        for block_id in cached_block_ids:
+            self.allocator.acquire(block_id, now=now)
+        fresh_ids = self.allocator.allocate(fresh_needed, now=now)
+
+        block_ids = list(cached_block_ids) + fresh_ids
+        allocation = SequenceAllocation(
+            request_id=request.request_id,
+            block_ids=block_ids,
+            num_cached_tokens=num_cached_tokens,
+            block_hashes=hashes,
+        )
+        self._allocations[request.request_id] = allocation
+
+        # Register the hashes of freshly computed *full* prompt blocks so other
+        # requests (and later iterations of the same agent) can reuse them.
+        if self.enabled:
+            full_prompt_blocks = request.num_prompt_tokens // self.block_size
+            for index in range(len(cached_block_ids), full_prompt_blocks):
+                self.allocator.register_hash(block_ids[index], hashes[index])
+
+        request.block_ids = block_ids
+        request.num_cached_tokens = num_cached_tokens
+        self.prompt_tokens_seen += request.num_prompt_tokens
+        self.cached_token_hits += num_cached_tokens
+        return allocation
+
+    # -- decode -------------------------------------------------------------
+    def append_token(self, request: LLMRequest, now: float = 0.0) -> bool:
+        """Reserve KV space for one generated token; False if out of memory."""
+        allocation = self._allocations.get(request.request_id)
+        if allocation is None:
+            raise KeyError(f"request {request.request_id} has no allocation")
+        new_context = request.context_length + 1
+        blocks_needed = -(-new_context // self.block_size)
+        if blocks_needed <= len(allocation.block_ids):
+            return True
+        if not self.allocator.can_allocate(1):
+            return False
+        new_block = self.allocator.allocate(1, now=now)[0]
+        allocation.block_ids.append(new_block)
+        request.block_ids = allocation.block_ids
+        return True
+
+    # -- teardown -----------------------------------------------------------
+    def free_sequence(self, request: LLMRequest, now: float = 0.0) -> None:
+        """Release the request's blocks, caching full blocks of its context."""
+        allocation = self._allocations.pop(request.request_id, None)
+        if allocation is None:
+            return
+        if self.enabled:
+            # Cache every full block of prompt + generated tokens so the next
+            # LLM call of this agent (whose prompt extends this context) hits.
+            all_tokens = request.all_token_ids()
+            hashes = block_hashes(all_tokens, self.block_size)
+            for index, content_hash in enumerate(hashes):
+                if index < len(allocation.block_ids):
+                    self.allocator.register_hash(allocation.block_ids[index], content_hash)
+        for block_id in allocation.block_ids:
+            self.allocator.release(block_id, now=now)
+        request.block_ids = []
+
+    def release_for_preemption(self, request: LLMRequest, now: float = 0.0) -> None:
+        """Free blocks of a preempted request (recompute-style preemption)."""
+        self.free_sequence(request, now=now)
+        request.num_cached_tokens = 0

@@ -1,0 +1,188 @@
+"""FCFS continuous-batching scheduler (vLLM 0.6.x default policy).
+
+The scheduler decides, before each engine step, whether the step is a
+*prefill* step (admitting waiting requests, which blocks decoding of already
+running requests -- the contention the paper highlights) or a *decode* step
+(one token for every running sequence).  Admission is first-come-first-served
+and bounded by a per-step token budget, a maximum batch size, and KV-cache
+capacity.  When the cache is exhausted mid-decode the most recently admitted
+request is preempted with recompute semantics.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Deque, List, Optional, Tuple
+
+from repro.llm.prefix_cache import PrefixCache
+from repro.llm.request import LLMRequest, RequestState
+
+
+class StepKind(str, Enum):
+    PREFILL = "prefill"
+    DECODE = "decode"
+
+
+@dataclass(frozen=True)
+class SchedulerConfig:
+    """Admission-control knobs (names follow vLLM)."""
+
+    max_num_seqs: int = 256
+    max_num_batched_tokens: int = 8192
+
+
+@dataclass
+class PrefillItem:
+    """One request admitted in a prefill step."""
+
+    request: LLMRequest
+    new_tokens: int
+    cached_tokens: int
+
+
+@dataclass
+class ScheduledStep:
+    """Work selected for the next engine step."""
+
+    kind: StepKind
+    prefills: List[PrefillItem] = field(default_factory=list)
+    decodes: List[LLMRequest] = field(default_factory=list)
+
+    @property
+    def batch_size(self) -> int:
+        return len(self.prefills) + len(self.decodes)
+
+    @property
+    def new_prefill_tokens(self) -> int:
+        return sum(item.new_tokens for item in self.prefills)
+
+    @property
+    def cached_prefill_tokens(self) -> int:
+        return sum(item.cached_tokens for item in self.prefills)
+
+
+class Scheduler:
+    """FCFS continuous batching over a shared prefix-aware KV cache."""
+
+    def __init__(self, config: SchedulerConfig, kv_cache: PrefixCache):
+        self.config = config
+        self.kv_cache = kv_cache
+        self.waiting: Deque[LLMRequest] = deque()
+        self.running: List[LLMRequest] = []
+        self.preemption_count: int = 0
+
+    # -- queue management ---------------------------------------------------
+    def add_request(self, request: LLMRequest) -> None:
+        request.state = RequestState.WAITING
+        self.waiting.append(request)
+
+    def has_work(self) -> bool:
+        return bool(self.waiting) or bool(self.running)
+
+    @property
+    def num_waiting(self) -> int:
+        return len(self.waiting)
+
+    @property
+    def num_running(self) -> int:
+        return len(self.running)
+
+    # -- scheduling -----------------------------------------------------------
+    def schedule(self, now: float = 0.0) -> Optional[ScheduledStep]:
+        """Pick the work for the next engine step, or ``None`` if idle."""
+        if self.waiting:
+            step = self._schedule_prefill(now)
+            if step is not None:
+                return step
+        if self.running:
+            return self._schedule_decode(now)
+        return None
+
+    def _schedule_prefill(self, now: float) -> Optional[ScheduledStep]:
+        prefills: List[PrefillItem] = []
+        token_budget = self.config.max_num_batched_tokens
+        while self.waiting:
+            if len(self.running) + len(prefills) >= self.config.max_num_seqs:
+                break
+            request = self.waiting[0]
+            cached_estimate = self.kv_cache.peek_cached_tokens(request.prompt_token_ids)
+            new_tokens = max(1, request.num_prompt_tokens - cached_estimate)
+            if prefills and new_tokens > token_budget:
+                break
+            allocation = self.kv_cache.allocate_sequence(request, now=now)
+            if allocation is None:
+                # KV cache full: admit nothing more.  If nothing is running
+                # and nothing was admitted the request simply waits for blocks
+                # freed by future completions.
+                break
+            self.waiting.popleft()
+            new_tokens = request.num_prompt_tokens - allocation.num_cached_tokens
+            token_budget -= new_tokens
+            request.state = RequestState.RUNNING
+            if request.timings.first_scheduled is None:
+                request.timings.first_scheduled = now
+            prefills.append(
+                PrefillItem(
+                    request=request,
+                    new_tokens=new_tokens,
+                    cached_tokens=allocation.num_cached_tokens,
+                )
+            )
+            if token_budget <= 0:
+                break
+        if not prefills:
+            return None
+        return ScheduledStep(kind=StepKind.PREFILL, prefills=prefills)
+
+    def _schedule_decode(self, now: float) -> ScheduledStep:
+        # Reserve KV space for the next token of every running sequence,
+        # preempting the newest sequences if the cache is exhausted.
+        scheduled: List[LLMRequest] = []
+        for request in list(self.running):
+            if request not in self.running:
+                # Already preempted as a victim earlier in this pass.
+                continue
+            reserved = self.kv_cache.append_token(request, now=now)
+            while not reserved:
+                victim = self._pick_preemption_victim(protected=scheduled + [request])
+                if victim is None:
+                    break
+                self._preempt(victim, now)
+                reserved = self.kv_cache.append_token(request, now=now)
+            if reserved:
+                scheduled.append(request)
+            else:
+                # Could not make room even after preempting everything else.
+                self._preempt(request, now)
+        return ScheduledStep(kind=StepKind.DECODE, decodes=scheduled)
+
+    def _pick_preemption_victim(
+        self, protected: List[LLMRequest]
+    ) -> Optional[LLMRequest]:
+        for candidate in reversed(self.running):
+            if candidate not in protected:
+                return candidate
+        return None
+
+    def _preempt(self, request: LLMRequest, now: float) -> None:
+        """Recompute-style preemption: free blocks and move back to waiting."""
+        if request in self.running:
+            self.running.remove(request)
+        self.kv_cache.release_for_preemption(request, now=now)
+        request.state = RequestState.WAITING
+        self.waiting.appendleft(request)
+        self.preemption_count += 1
+
+    # -- step completion hooks ---------------------------------------------
+    def on_prefill_complete(self, items: List[PrefillItem]) -> None:
+        for item in items:
+            if item.request.state == RequestState.RUNNING:
+                self.running.append(item.request)
+
+    def finish_request(self, request: LLMRequest, now: float = 0.0) -> None:
+        if request in self.running:
+            self.running.remove(request)
+        request.state = RequestState.FINISHED
+        self.kv_cache.free_sequence(request, now=now)

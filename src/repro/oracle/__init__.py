@@ -1,0 +1,49 @@
+"""Synthetic LLM behaviour and accuracy models.
+
+Because no real LLM is available offline, agent decisions (how many reasoning
+steps a task needs, how long each generated message is, whether the final
+answer is correct) are produced by a seeded statistical model calibrated to
+the workload statistics reported in the paper.  The oracle never fabricates
+latencies or energy -- those come from the serving simulator -- it only
+supplies the *workload shape* a real model would have produced.
+"""
+
+from repro.oracle.calibration import (
+    AgentProfile,
+    BenchmarkProfile,
+    ModelQuality,
+    AGENT_PROFILES,
+    BENCHMARK_PROFILES,
+    MODEL_QUALITY,
+    get_agent_profile,
+    get_benchmark_profile,
+    get_model_quality,
+)
+from repro.oracle.accuracy import (
+    answer_success_probability,
+    few_shot_gain,
+    parallel_candidate_boost,
+    reflection_gain,
+    step_success_probability,
+)
+from repro.oracle.behavior import StepOutcome, TaskOracle, make_oracle
+
+__all__ = [
+    "AGENT_PROFILES",
+    "AgentProfile",
+    "BENCHMARK_PROFILES",
+    "BenchmarkProfile",
+    "MODEL_QUALITY",
+    "ModelQuality",
+    "StepOutcome",
+    "TaskOracle",
+    "answer_success_probability",
+    "few_shot_gain",
+    "get_agent_profile",
+    "get_benchmark_profile",
+    "get_model_quality",
+    "make_oracle",
+    "parallel_candidate_boost",
+    "reflection_gain",
+    "step_success_probability",
+]

@@ -1,0 +1,110 @@
+"""Accuracy model: how agent design choices translate into success probability.
+
+The model is intentionally simple and mechanistic so the paper's qualitative
+findings *emerge* instead of being hard-coded:
+
+* Each task needs ``solution_depth`` successful reasoning steps.  Every agent
+  iteration attempts one step; the per-step success probability depends on
+  the benchmark, agent, backend model, few-shot prompting, accumulated
+  reflections, and (for tree search) the number of parallel candidates.
+* Once all steps are made, the final answer is correct with a probability that
+  again depends on benchmark/agent/model and the number of answer candidates
+  considered.
+
+These two probabilities produce the paper's observed shapes: accuracy rises
+with iteration budget but saturates; few-shot examples improve accuracy *and*
+shorten trajectories; reflection retries give diminishing gains; parallel
+candidates raise accuracy while reducing sequential depth; larger models reach
+their asymptote with less test-time compute.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.oracle.calibration import (
+    AgentProfile,
+    BenchmarkProfile,
+    ModelQuality,
+)
+
+
+def clamp(value: float, low: float = 0.0, high: float = 1.0) -> float:
+    return max(low, min(high, value))
+
+
+def few_shot_gain(num_few_shot: int) -> float:
+    """Additive step-probability gain from in-context examples.
+
+    Gains saturate after a handful of examples and slowly turn negative as
+    very long prompts push the model outside its optimal processing range
+    (the paper's Fig. 15 observation).
+    """
+    if num_few_shot <= 0:
+        return -0.08
+    saturating = 0.14 * (1.0 - math.exp(-num_few_shot / 1.6))
+    overload = 0.02 * max(0, num_few_shot - 4)
+    return saturating - overload
+
+
+def reflection_gain(reflection_round: int) -> float:
+    """Additive step-probability gain from accumulated verbal reflections."""
+    if reflection_round <= 0:
+        return 0.0
+    return min(0.22, 0.07 * math.sqrt(reflection_round) * 1.6)
+
+
+def parallel_candidate_boost(
+    probability: float, num_candidates: int, exponent: float = 0.62
+) -> float:
+    """Best-of-N improvement with sub-linear effective candidate count.
+
+    Candidates are correlated (same model, same context), so doubling the
+    branching factor does not double the number of independent tries.  The
+    ``exponent`` controls how quickly extra candidates decorrelate; answer
+    selection uses a smaller exponent than step exploration because final
+    answers drawn from the same search tree are highly correlated.
+    """
+    if num_candidates <= 1:
+        return probability
+    effective = num_candidates**exponent
+    return 1.0 - (1.0 - probability) ** effective
+
+
+def step_success_probability(
+    benchmark: BenchmarkProfile,
+    agent: AgentProfile,
+    model: ModelQuality,
+    difficulty: float,
+    num_few_shot: int,
+    reflection_round: int = 0,
+    num_candidates: int = 1,
+) -> float:
+    """Probability that one agent iteration makes progress on the task."""
+    base = benchmark.base_step_prob
+    base *= agent.step_factor_for(benchmark.name)
+    base *= model.step_quality
+    base += few_shot_gain(num_few_shot)
+    base += reflection_gain(reflection_round)
+    base *= 1.0 - 0.55 * clamp(difficulty)
+    base = parallel_candidate_boost(clamp(base, 0.02, 0.97), num_candidates)
+    return clamp(base, 0.02, 0.97)
+
+
+def answer_success_probability(
+    benchmark: BenchmarkProfile,
+    agent: AgentProfile,
+    model: ModelQuality,
+    difficulty: float,
+    solved: bool,
+    num_candidates: int = 1,
+) -> float:
+    """Probability that the final answer is correct."""
+    if not solved:
+        return clamp(benchmark.guess_prob * model.answer_quality, 0.0, 0.3)
+    base = benchmark.base_answer_prob
+    base *= agent.answer_factor_for(benchmark.name)
+    base *= model.answer_quality
+    base *= 1.0 - 0.45 * clamp(difficulty)
+    base = parallel_candidate_boost(clamp(base, 0.02, 0.98), num_candidates, exponent=0.35)
+    return clamp(base, 0.0, agent.answer_asymptote)

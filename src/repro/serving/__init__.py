@@ -1,0 +1,18 @@
+"""Agent serving system: workers, load generation, and QPS sweeps."""
+
+from repro.serving.loadgen import ArrivalPlan, poisson_plan, sequential_plan, uniform_plan
+from repro.serving.server import AgentServer, ServingConfig, ServingResult, run_at_qps
+from repro.serving.sweep import QpsSweepResult, sweep_qps
+
+__all__ = [
+    "AgentServer",
+    "ArrivalPlan",
+    "QpsSweepResult",
+    "ServingConfig",
+    "ServingResult",
+    "poisson_plan",
+    "run_at_qps",
+    "sequential_plan",
+    "sweep_qps",
+    "uniform_plan",
+]

@@ -1,0 +1,78 @@
+"""Load generation for the agent serving experiments (paper Section IV-C).
+
+The paper drives its serving system with requests sampled uniformly from the
+benchmark and arriving according to a Poisson process at a target QPS; this
+module produces those arrival schedules and the accompanying task samples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.sim.distributions import DeterministicArrivals, PoissonArrivals, RandomStream
+from repro.workloads.base import Task, Workload
+
+
+@dataclass(frozen=True)
+class ArrivalPlan:
+    """A schedule of (arrival_time, task) pairs for one serving run."""
+
+    arrival_times: List[float]
+    tasks: List[Task]
+
+    def __post_init__(self) -> None:
+        if len(self.arrival_times) != len(self.tasks):
+            raise ValueError("arrival_times and tasks must have the same length")
+        if any(b < a for a, b in zip(self.arrival_times, self.arrival_times[1:])):
+            raise ValueError("arrival times must be non-decreasing")
+
+    def __len__(self) -> int:
+        return len(self.tasks)
+
+    @property
+    def duration(self) -> float:
+        return self.arrival_times[-1] if self.arrival_times else 0.0
+
+    @property
+    def offered_qps(self) -> float:
+        if not self.arrival_times or self.duration <= 0:
+            return 0.0
+        return len(self.arrival_times) / self.duration
+
+
+def poisson_plan(
+    workload: Workload,
+    qps: float,
+    num_requests: int,
+    stream: RandomStream,
+    task_pool_size: int = 64,
+) -> ArrivalPlan:
+    """Poisson arrivals at ``qps`` with tasks sampled (with replacement) from a pool."""
+    if num_requests < 1:
+        raise ValueError("num_requests must be >= 1")
+    pool = workload.sample_tasks(max(task_pool_size, 1))
+    arrivals = PoissonArrivals(qps, stream.substream("arrivals")).arrival_times(num_requests)
+    pick_stream = stream.substream("task-pick")
+    tasks = [pool[pick_stream.integers(0, len(pool))] for _ in range(num_requests)]
+    return ArrivalPlan(arrival_times=arrivals, tasks=tasks)
+
+
+def uniform_plan(
+    workload: Workload,
+    qps: float,
+    num_requests: int,
+    task_pool_size: int = 64,
+    stream: RandomStream | None = None,
+) -> ArrivalPlan:
+    """Evenly spaced arrivals (deterministic), useful for calibration tests."""
+    pool = workload.sample_tasks(max(task_pool_size, 1))
+    arrivals = DeterministicArrivals(qps).arrival_times(num_requests)
+    tasks = [pool[index % len(pool)] for index in range(num_requests)]
+    return ArrivalPlan(arrival_times=arrivals, tasks=tasks)
+
+
+def sequential_plan(workload: Workload, num_requests: int) -> ArrivalPlan:
+    """All requests available at time zero (used for closed-loop sequential runs)."""
+    tasks = workload.sample_tasks(num_requests)
+    return ArrivalPlan(arrival_times=[0.0] * num_requests, tasks=tasks)

@@ -1,0 +1,229 @@
+"""The agent serving system (paper Fig. 10).
+
+A server entry point receives user requests, spawns an asynchronous agent
+worker per request, and lets the workers' LLM calls batch at the shared vLLM
+backend (continuous batching + FCFS scheduling).  Tool calls run inside each
+worker.  The system reports the end-to-end latency distribution, sustained
+throughput, KV-cache memory, and GPU energy over the measurement window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.agents import AgentConfig, AgentRunResult, create_agent
+from repro.core.metrics import GpuRuntimeBreakdown, LatencyStats, mean
+from repro.llm import EngineConfig, LLMClient, LLMEngine
+from repro.llm.models import get_model
+from repro.serving.loadgen import ArrivalPlan, poisson_plan, sequential_plan
+from repro.sim import Environment, RandomStream
+from repro.workloads import create_workload
+from repro.workloads.base import Workload
+
+
+@dataclass(frozen=True)
+class ServingConfig:
+    """Configuration of one serving experiment."""
+
+    agent: str = "react"
+    benchmark: str = "hotpotqa"
+    model: str = "8b"
+    enable_prefix_caching: bool = True
+    agent_config: AgentConfig = field(default_factory=AgentConfig)
+    seed: int = 0
+    # Simulation-speed knob: how many decode tokens one engine step may batch.
+    max_decode_chunk: int = 4
+    max_concurrency: Optional[int] = None
+
+
+@dataclass
+class ServingResult:
+    """Outcome of one serving run at a fixed offered load."""
+
+    config: ServingConfig
+    offered_qps: float
+    num_requests: int
+    results: List[AgentRunResult] = field(default_factory=list)
+    duration: float = 0.0
+    energy_wh: float = 0.0
+    gpu: GpuRuntimeBreakdown = field(default_factory=lambda: GpuRuntimeBreakdown(0, 0, 0))
+    kv_average_bytes: float = 0.0
+    kv_max_bytes: float = 0.0
+    preemptions: int = 0
+    prefix_cache_hit_rate: float = 0.0
+
+    @property
+    def num_completed(self) -> int:
+        return len(self.results)
+
+    @property
+    def latencies(self) -> List[float]:
+        return [result.e2e_latency for result in self.results]
+
+    @property
+    def latency_stats(self) -> LatencyStats:
+        return LatencyStats.from_values(self.latencies)
+
+    @property
+    def mean_latency(self) -> float:
+        return mean(self.latencies)
+
+    @property
+    def p95_latency(self) -> float:
+        return self.latency_stats.p95
+
+    @property
+    def throughput_qps(self) -> float:
+        if self.duration <= 0:
+            return 0.0
+        return self.num_completed / self.duration
+
+    @property
+    def energy_wh_per_query(self) -> float:
+        if self.num_completed == 0:
+            return 0.0
+        return self.energy_wh / self.num_completed
+
+    @property
+    def accuracy(self) -> float:
+        if not self.results:
+            return 0.0
+        return mean([1.0 if result.answer_correct else 0.0 for result in self.results])
+
+
+class AgentServer:
+    """Serving system binding a workload, an agent workflow, and an engine."""
+
+    def __init__(self, config: ServingConfig):
+        self.config = config
+        self.env = Environment()
+        self.engine = LLMEngine(
+            self.env,
+            EngineConfig(
+                model=get_model(config.model),
+                enable_prefix_caching=config.enable_prefix_caching,
+                max_decode_chunk=config.max_decode_chunk,
+            ),
+        )
+        self.client = LLMClient(self.env, self.engine)
+        self.workload: Workload = create_workload(config.benchmark, seed=config.seed)
+        self.stream = RandomStream(config.seed, f"serving/{config.agent}/{config.benchmark}")
+        self._needs_tools = config.agent.lower() not in ("cot", "chatbot")
+        self._active_workers = 0
+
+    # -- worker ----------------------------------------------------------------
+    def _make_agent(self):
+        toolset = (
+            self.workload.build_toolset(self.env, self.client.tokenizer, self.client)
+            if self._needs_tools
+            else None
+        )
+        return create_agent(
+            self.config.agent,
+            env=self.env,
+            client=self.client,
+            workload=self.workload,
+            toolset=toolset,
+            config=self.config.agent_config,
+            seed_stream=self.stream.substream(f"agent-worker/{self._active_workers}"),
+        )
+
+    def _worker(self, task, collected: List[AgentRunResult]):
+        self._active_workers += 1
+        agent = self._make_agent()
+        result = yield agent.run_process(task)
+        collected.append(result)
+        self._active_workers -= 1
+
+    def _request_generator(self, plan: ArrivalPlan, collected: List[AgentRunResult]):
+        previous = 0.0
+        for arrival, task in zip(plan.arrival_times, plan.tasks):
+            gap = arrival - previous
+            if gap > 0:
+                yield self.env.timeout(gap)
+            previous = arrival
+            self.env.process(self._worker(task, collected))
+
+    # -- open-loop serving -------------------------------------------------------
+    def serve(self, plan: ArrivalPlan) -> ServingResult:
+        """Serve an arrival plan to completion and collect serving metrics."""
+        collected: List[AgentRunResult] = []
+        energy_before = self.engine.energy.snapshot()
+        start_time = self.env.now
+        generator = self.env.process(self._request_generator(plan, collected))
+        self.env.run(generator)
+        # Drain: run until every issued request has been answered (or no more
+        # simulation events remain, which would indicate a deadlocked worker).
+        while len(collected) < len(plan) and self.env.peek() != float("inf"):
+            self.env.step()
+        end_time = self.env.now
+        duration = max(end_time - start_time, 1e-9)
+
+        window = self.engine.energy.since(energy_before)
+        gpu = GpuRuntimeBreakdown.from_engine_window(
+            self.engine.runtime_breakdown(start_time, end_time)
+        )
+        kv_stats = self.engine.kv_memory_stats(start_time, end_time)
+        return ServingResult(
+            config=self.config,
+            offered_qps=plan.offered_qps,
+            num_requests=len(plan),
+            results=collected,
+            duration=duration,
+            energy_wh=window.total_wh,
+            gpu=gpu,
+            kv_average_bytes=kv_stats["average_bytes"],
+            kv_max_bytes=kv_stats["max_bytes"],
+            preemptions=self.engine.scheduler.preemption_count,
+            prefix_cache_hit_rate=self.engine.kv_cache.hit_rate(),
+        )
+
+    # -- closed-loop sequential serving -------------------------------------------
+    def serve_sequential(self, num_requests: int) -> ServingResult:
+        """Process requests strictly one at a time (the paper's sequential baseline)."""
+        plan = sequential_plan(self.workload, num_requests)
+        collected: List[AgentRunResult] = []
+        energy_before = self.engine.energy.snapshot()
+        start_time = self.env.now
+        for task in plan.tasks:
+            agent = self._make_agent()
+            result = self.env.run(agent.run_process(task))
+            collected.append(result)
+        duration = max(self.env.now - start_time, 1e-9)
+        window = self.engine.energy.since(energy_before)
+        gpu = GpuRuntimeBreakdown.from_engine_window(
+            self.engine.runtime_breakdown(start_time, self.env.now)
+        )
+        kv_stats = self.engine.kv_memory_stats(start_time, self.env.now)
+        return ServingResult(
+            config=self.config,
+            offered_qps=0.0,
+            num_requests=num_requests,
+            results=collected,
+            duration=duration,
+            energy_wh=window.total_wh,
+            gpu=gpu,
+            kv_average_bytes=kv_stats["average_bytes"],
+            kv_max_bytes=kv_stats["max_bytes"],
+            preemptions=self.engine.scheduler.preemption_count,
+            prefix_cache_hit_rate=self.engine.kv_cache.hit_rate(),
+        )
+
+
+def run_at_qps(
+    config: ServingConfig,
+    qps: float,
+    num_requests: int = 60,
+    task_pool_size: int = 48,
+) -> ServingResult:
+    """Convenience wrapper: build a server, drive it at ``qps``, return the result."""
+    server = AgentServer(config)
+    plan = poisson_plan(
+        server.workload,
+        qps=qps,
+        num_requests=num_requests,
+        stream=server.stream.substream(f"plan/{qps}"),
+        task_pool_size=task_pool_size,
+    )
+    return server.serve(plan)

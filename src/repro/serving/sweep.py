@@ -1,0 +1,66 @@
+"""QPS sweeps and peak-throughput (knee) detection (paper Fig. 11)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.serving.server import ServingConfig, ServingResult, run_at_qps
+
+
+@dataclass
+class QpsSweepResult:
+    """Tail-latency-vs-QPS curve for one serving configuration."""
+
+    config: ServingConfig
+    results: List[ServingResult] = field(default_factory=list)
+
+    @property
+    def qps_values(self) -> List[float]:
+        return [result.offered_qps for result in self.results]
+
+    @property
+    def p95_latencies(self) -> List[float]:
+        return [result.p95_latency for result in self.results]
+
+    @property
+    def throughputs(self) -> List[float]:
+        return [result.throughput_qps for result in self.results]
+
+    def peak_throughput(
+        self,
+        latency_slo_s: Optional[float] = None,
+        knee_factor: float = 3.0,
+    ) -> float:
+        """Maximum sustainable QPS at the knee of the tail-latency curve.
+
+        The knee is the largest offered QPS whose p95 latency stays below
+        ``knee_factor`` times the lowest-load p95 (or below an absolute SLO if
+        one is given).  This mirrors how the paper reads peak throughput off
+        its Fig. 11 curves.
+        """
+        if not self.results:
+            return 0.0
+        ordered = sorted(self.results, key=lambda result: result.offered_qps)
+        baseline = ordered[0].p95_latency
+        threshold = latency_slo_s if latency_slo_s is not None else baseline * knee_factor
+        peak = 0.0
+        for result in ordered:
+            if result.p95_latency <= threshold and result.num_completed >= result.num_requests * 0.95:
+                peak = max(peak, result.throughput_qps)
+        return peak
+
+
+def sweep_qps(
+    config: ServingConfig,
+    qps_values: Sequence[float],
+    num_requests: int = 60,
+    task_pool_size: int = 48,
+) -> QpsSweepResult:
+    """Run the same serving configuration across several offered loads."""
+    sweep = QpsSweepResult(config=config)
+    for qps in qps_values:
+        sweep.results.append(
+            run_at_qps(config, qps, num_requests=num_requests, task_pool_size=task_pool_size)
+        )
+    return sweep

@@ -1,0 +1,354 @@
+"""Core discrete-event simulation primitives.
+
+The design follows the classic event-loop architecture:
+
+* :class:`Environment` owns the simulation clock and a priority queue of
+  scheduled events.
+* :class:`Event` is the base synchronisation primitive.  Events can be
+  *succeeded* (optionally with a value) or *failed* (with an exception), and
+  callbacks registered on them run when they fire.
+* :class:`Process` wraps a generator.  The generator yields events; when a
+  yielded event fires the process is resumed with the event's value (or the
+  exception is thrown into it).
+* :class:`Timeout` is an event that fires after a fixed simulated delay.
+
+Only the features the reproduction needs are implemented, which keeps the
+kernel small and easy to reason about, but the semantics intentionally mirror
+SimPy so the agent/serving code reads like ordinary SimPy programs.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterable, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised for invalid uses of the simulation kernel."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process when another process interrupts it."""
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+_PENDING = object()
+
+
+class Event:
+    """A one-shot synchronisation primitive.
+
+    An event starts *pending*; it can be triggered exactly once, either with
+    :meth:`succeed` or :meth:`fail`.  Processes wait on events by yielding
+    them.
+    """
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: list[Callable[["Event"], None]] = []
+        self._value: Any = _PENDING
+        self._ok: Optional[bool] = None
+        self._scheduled = False
+
+    # -- state ------------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """Whether the event has been given a value (it may not have fired yet)."""
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """Whether the event's callbacks have already been executed."""
+        return self.callbacks is None  # type: ignore[return-value]
+
+    @property
+    def ok(self) -> bool:
+        if self._ok is None:
+            raise SimulationError("event has not been triggered yet")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if self._value is _PENDING:
+            raise SimulationError("event has not been triggered yet")
+        return self._value
+
+    # -- triggering -------------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self.triggered:
+            raise SimulationError("event already triggered")
+        self._ok = True
+        self._value = value
+        self.env._schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception."""
+        if not isinstance(exception, BaseException):
+            raise SimulationError("fail() requires an exception instance")
+        if self.triggered:
+            raise SimulationError("event already triggered")
+        self._ok = False
+        self._value = exception
+        self.env._schedule(self)
+        return self
+
+    def trigger(self, event: "Event") -> None:
+        """Trigger this event with the state of another event (callback helper)."""
+        if event.ok:
+            self.succeed(event.value)
+        else:
+            self.fail(event.value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "pending"
+        if self.triggered:
+            state = "ok" if self._ok else "failed"
+        return f"<{type(self).__name__} {state} at t={self.env.now:.6f}>"
+
+
+class Timeout(Event):
+    """Event that fires automatically after ``delay`` simulated seconds."""
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env._schedule(self, delay=delay)
+
+
+class Initialize(Event):
+    """Internal event used to start a freshly created process."""
+
+    def __init__(self, env: "Environment", process: "Process"):
+        super().__init__(env)
+        self._ok = True
+        self._value = None
+        self.callbacks.append(process._resume)
+        env._schedule(self)
+
+
+class Process(Event):
+    """Wraps a generator so it can be driven by the event loop.
+
+    A ``Process`` is itself an event that fires when the generator finishes
+    (with its return value) or raises (with the exception), so processes can
+    wait for each other simply by yielding them.
+    """
+
+    def __init__(self, env: "Environment", generator: Generator):
+        if not hasattr(generator, "send"):
+            raise SimulationError("Process requires a generator")
+        super().__init__(env)
+        self._generator = generator
+        self._target: Optional[Event] = None
+        Initialize(env, self)
+
+    @property
+    def is_alive(self) -> bool:
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current sim time."""
+        if self.triggered:
+            return
+        event = Event(self.env)
+        event._ok = False
+        event._value = Interrupt(cause)
+        event._defused = True  # type: ignore[attr-defined]
+        event.callbacks.append(self._resume)
+        self.env._schedule(event, priority=0)
+        # Detach from whatever the process was waiting on.
+        if self._target is not None and not self._target.processed:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except (ValueError, AttributeError):
+                pass
+            self._target = None
+
+    # -- driving ----------------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        self.env._active_process = self
+        while True:
+            try:
+                if event._ok:
+                    next_event = self._generator.send(event._value)
+                else:
+                    event._defused = True  # type: ignore[attr-defined]
+                    next_event = self._generator.throw(event._value)
+            except StopIteration as exc:
+                self._ok = True
+                self._value = exc.value
+                self.env._schedule(self)
+                break
+            except BaseException as exc:
+                self._ok = False
+                self._value = exc
+                self.env._schedule(self)
+                break
+
+            if not isinstance(next_event, Event):
+                raise SimulationError(
+                    f"process yielded a non-event: {next_event!r}"
+                )
+            if next_event.processed:
+                # Already fired: resume immediately with its value.
+                event = next_event
+                continue
+            next_event.callbacks.append(self._resume)
+            self._target = next_event
+            break
+        self.env._active_process = None
+
+
+class ConditionEvent(Event):
+    """Base for AllOf/AnyOf composite events."""
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env)
+        self._events = list(events)
+        self._pending = 0
+        for event in self._events:
+            if event.processed:
+                self._check(event)
+            else:
+                self._pending += 1
+                event.callbacks.append(self._check)
+        if not self.triggered and self._satisfied():
+            self.succeed(self._collect())
+
+    def _satisfied(self) -> bool:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def _collect(self) -> dict:
+        return {
+            index: event.value
+            for index, event in enumerate(self._events)
+            if event.triggered and event.ok
+        }
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            event._defused = True  # type: ignore[attr-defined]
+            self.fail(event.value)
+            return
+        if self._satisfied():
+            self.succeed(self._collect())
+
+
+class AllOf(ConditionEvent):
+    """Fires when all child events have fired."""
+
+    def _satisfied(self) -> bool:
+        return all(event.triggered and event.ok for event in self._events)
+
+
+class AnyOf(ConditionEvent):
+    """Fires as soon as any child event has fired."""
+
+    def _satisfied(self) -> bool:
+        return any(event.triggered and event.ok for event in self._events)
+
+
+class Environment:
+    """Simulation environment: clock plus event queue."""
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._eid = itertools.count()
+        self._active_process: Optional[Process] = None
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        return self._active_process
+
+    # -- factories ----------------------------------------------------------
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator) -> Process:
+        return Process(self, generator)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- scheduling -----------------------------------------------------------
+    def _schedule(self, event: Event, delay: float = 0.0, priority: int = 1) -> None:
+        if event._scheduled:
+            return
+        event._scheduled = True
+        heapq.heappush(
+            self._queue, (self._now + delay, priority, next(self._eid), event)
+        )
+
+    def peek(self) -> float:
+        """Time of the next scheduled event (``inf`` when the queue is empty)."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process the next scheduled event."""
+        if not self._queue:
+            raise SimulationError("no scheduled events")
+        when, _priority, _eid, event = heapq.heappop(self._queue)
+        self._now = when
+        callbacks, event.callbacks = event.callbacks, None  # type: ignore[assignment]
+        for callback in callbacks:
+            callback(event)
+        if not event._ok and not getattr(event, "_defused", False):
+            raise event._value
+
+    def run(self, until: Any = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be ``None`` (run until no events remain), a number
+        (run until that simulated time), or an :class:`Event` (run until it
+        fires, returning its value).
+        """
+        stop_event: Optional[Event] = None
+        stop_time = float("inf")
+        if isinstance(until, Event):
+            stop_event = until
+        elif until is not None:
+            stop_time = float(until)
+            if stop_time < self._now:
+                raise SimulationError("until lies in the past")
+
+        while self._queue:
+            if stop_event is not None and stop_event.processed:
+                break
+            if self.peek() > stop_time:
+                self._now = stop_time
+                return None
+            self.step()
+
+        if stop_event is not None:
+            if not stop_event.triggered:
+                raise SimulationError("run() finished before the until-event fired")
+            if not stop_event.ok:
+                raise stop_event.value
+            return stop_event.value
+        if until is not None and not isinstance(until, Event):
+            self._now = max(self._now, stop_time) if self._queue == [] else self._now
+        return None

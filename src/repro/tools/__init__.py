@@ -1,0 +1,32 @@
+"""Simulated tool environments used by the agentic benchmarks.
+
+Each benchmark in the paper pairs agents with external tools (Table II):
+Wikipedia search/lookup for HotpotQA, interactive web navigation for WebShop,
+Wolfram Alpha / a Python calculator for MATH, and self-generated test
+execution for HumanEval.  The reproductions implement the same interaction
+surface over synthetic content, with latency models calibrated to the paper
+(Wikipedia ~1.2 s per call, WebShop ~20 ms, HumanEval's test tool keeps the
+GPU busy through an internal LLM call).
+"""
+
+from repro.tools.base import BaseTool, ToolAction, ToolCallRecord, ToolResult, ToolSet
+from repro.tools.wikipedia import WikipediaCorpus, WikipediaTool
+from repro.tools.webshop import ProductCatalog, WebShopTool
+from repro.tools.calculator import CalculatorTool, WolframAlphaTool, evaluate_expression
+from repro.tools.python_exec import PythonExecutionTool
+
+__all__ = [
+    "BaseTool",
+    "CalculatorTool",
+    "ProductCatalog",
+    "PythonExecutionTool",
+    "ToolAction",
+    "ToolCallRecord",
+    "ToolResult",
+    "ToolSet",
+    "WebShopTool",
+    "WikipediaCorpus",
+    "WikipediaTool",
+    "WolframAlphaTool",
+    "evaluate_expression",
+]

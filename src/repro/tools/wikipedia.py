@@ -1,0 +1,183 @@
+"""Synthetic Wikipedia environment for the HotpotQA benchmark.
+
+The paper equips agents with the live Wikipedia API (search + keyword lookup)
+whose calls average about 1.2 seconds.  The substitute builds a seeded corpus
+of interlinked articles: entities have attributes and relations to other
+entities, so multi-hop questions ("Where was the director of X born?") have a
+ground-truth reasoning chain through the corpus.  Search returns the matching
+article's opening paragraph (a few hundred tokens, like the real API), and
+lookup returns the sentence containing a keyword.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.sim.distributions import LogNormalSampler, RandomStream
+from repro.tools.base import BaseTool, ToolAction
+
+_FIRST_NAMES = [
+    "Arlen", "Briva", "Cadell", "Dorine", "Elsat", "Farrow", "Gemina", "Haldor",
+    "Iselle", "Jorvik", "Kestra", "Lunder", "Morwen", "Nerith", "Oswin", "Pavela",
+]
+_PLACE_ROOTS = [
+    "Vael", "Thorn", "Quill", "Brack", "Maris", "Olden", "Crest", "Fenn",
+    "Garris", "Hollow", "Ivers", "Juno", "Karst", "Lorim", "Moss", "Nord",
+]
+_PROFESSIONS = [
+    "director", "novelist", "architect", "composer", "botanist", "aviator",
+    "historian", "sculptor", "physicist", "cartographer",
+]
+_RELATIONS = ["founder", "director", "author", "composer", "designer", "discoverer"]
+
+
+@dataclass
+class WikiArticle:
+    """One synthetic encyclopedia article."""
+
+    title: str
+    kind: str                      # "person" | "place" | "work"
+    summary: str
+    sentences: List[str]
+    links: List[str] = field(default_factory=list)
+    attributes: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def text(self) -> str:
+        return " ".join([self.summary] + self.sentences)
+
+
+class WikipediaCorpus:
+    """A seeded corpus of people, places and works with multi-hop relations."""
+
+    def __init__(self, stream: RandomStream, num_entities: int = 120):
+        if num_entities < 12:
+            raise ValueError("corpus needs at least 12 entities")
+        self.articles: Dict[str, WikiArticle] = {}
+        self._build(stream, num_entities)
+
+    # -- construction -----------------------------------------------------
+    def _build(self, stream: RandomStream, num_entities: int) -> None:
+        num_places = max(4, num_entities // 4)
+        num_people = max(4, num_entities // 2)
+        num_works = max(4, num_entities - num_places - num_people)
+
+        places = []
+        for index in range(num_places):
+            name = f"{stream.choice(_PLACE_ROOTS)}{stream.choice(['ton', 'burgh', 'mere', 'stad'])} {index}"
+            places.append(name)
+            self.articles[name] = WikiArticle(
+                title=name,
+                kind="place",
+                summary=(
+                    f"{name} is a settlement noted for its {stream.choice(['harbour', 'observatory', 'archives', 'foundry'])} "
+                    f"and a population of {stream.integers(2, 900)} thousand residents."
+                ),
+                sentences=[
+                    f"The regional council of {name} was established in {1700 + stream.integers(0, 300)}.",
+                    f"{name} hosts an annual festival devoted to {stream.choice(_PROFESSIONS)}s.",
+                ],
+                attributes={"founded": str(1700 + stream.integers(0, 300))},
+            )
+
+        people = []
+        for index in range(num_people):
+            name = f"{stream.choice(_FIRST_NAMES)} {stream.choice(_PLACE_ROOTS)}sen {index}"
+            birthplace = stream.choice(places)
+            profession = stream.choice(_PROFESSIONS)
+            people.append(name)
+            self.articles[name] = WikiArticle(
+                title=name,
+                kind="person",
+                summary=(
+                    f"{name} is a {profession} born in {birthplace} in {1850 + stream.integers(0, 140)}."
+                ),
+                sentences=[
+                    f"{name} studied at the institute of {stream.choice(places)} before gaining recognition.",
+                    f"Critics describe the style of {name} as {stream.choice(['austere', 'lyrical', 'meticulous', 'exuberant'])}.",
+                ],
+                links=[birthplace],
+                attributes={"birthplace": birthplace, "profession": profession},
+            )
+
+        for index in range(num_works):
+            creator = stream.choice(people)
+            relation = stream.choice(_RELATIONS)
+            name = f"The {stream.choice(['Silent', 'Gilded', 'Northern', 'Hollow', 'Verdant'])} {stream.choice(['Archive', 'Voyage', 'Meridian', 'Orchard', 'Signal'])} {index}"
+            self.articles[name] = WikiArticle(
+                title=name,
+                kind="work",
+                summary=(
+                    f"{name} is a celebrated work whose {relation} is {creator}, "
+                    f"first presented in {1900 + stream.integers(0, 120)}."
+                ),
+                sentences=[
+                    f"{name} received the {stream.choice(['Aster', 'Meridian', 'Boreal'])} prize.",
+                    f"Scholars connect {name} with themes of {stream.choice(['memory', 'migration', 'industry', 'tides'])}.",
+                ],
+                links=[creator],
+                attributes={"creator": creator, "relation": relation},
+            )
+
+    # -- queries ------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.articles)
+
+    def titles(self) -> List[str]:
+        return list(self.articles)
+
+    def get(self, title: str) -> Optional[WikiArticle]:
+        return self.articles.get(title)
+
+    def search(self, query: str) -> Tuple[Optional[WikiArticle], List[str]]:
+        """Exact-title match first, then substring match; also returns similar titles."""
+        if query in self.articles:
+            return self.articles[query], []
+        query_lower = query.lower()
+        matches = [
+            title for title in self.articles if query_lower and query_lower in title.lower()
+        ]
+        if matches:
+            return self.articles[matches[0]], matches[1:6]
+        return None, [title for title in list(self.articles)[:5]]
+
+    def lookup(self, title: str, keyword: str) -> Optional[str]:
+        article = self.get(title)
+        if article is None:
+            return None
+        keyword_lower = keyword.lower()
+        for sentence in [article.summary] + article.sentences:
+            if keyword_lower in sentence.lower():
+                return sentence
+        return None
+
+
+class WikipediaTool(BaseTool):
+    """Search/lookup interface over a :class:`WikipediaCorpus`."""
+
+    name = "wikipedia"
+
+    def __init__(self, env, tokenizer, latency_sampler: LogNormalSampler, stream: RandomStream, corpus: WikipediaCorpus):
+        super().__init__(env, tokenizer, latency_sampler, stream)
+        self.corpus = corpus
+        self._last_article: Optional[WikiArticle] = None
+
+    def _execute(self, action: ToolAction):
+        if action.action == "search":
+            article, similar = self.corpus.search(action.argument)
+            if article is None:
+                text = (
+                    f"Could not find {action.argument}. Similar: "
+                    + ", ".join(similar)
+                )
+                return text, False, None
+            self._last_article = article
+            return article.text, True, article
+        if action.action == "lookup":
+            title = self._last_article.title if self._last_article else ""
+            sentence = self.corpus.lookup(title, action.argument)
+            if sentence is None:
+                return f"No result found for lookup[{action.argument}].", False, None
+            return sentence, True, sentence
+        return f"Invalid action {action.action}.", False, None

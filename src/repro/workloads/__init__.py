@@ -1,0 +1,38 @@
+"""Benchmark workloads (Table II) plus the ShareGPT chatbot baseline."""
+
+from repro.workloads.base import (
+    BenchmarkInfo,
+    Task,
+    Workload,
+    available_workloads,
+    create_workload,
+    register_workload,
+)
+from repro.workloads.hotpotqa import HotpotQAWorkload
+from repro.workloads.webshop_tasks import WebShopWorkload
+from repro.workloads.math_tasks import MathWorkload
+from repro.workloads.humaneval import HumanEvalWorkload
+from repro.workloads.sharegpt import ShareGPTWorkload
+
+register_workload("hotpotqa", lambda seed=0: HotpotQAWorkload(seed))
+register_workload("webshop", lambda seed=0: WebShopWorkload(seed))
+register_workload("math", lambda seed=0: MathWorkload(seed))
+register_workload("humaneval", lambda seed=0: HumanEvalWorkload(seed))
+register_workload("sharegpt", lambda seed=0: ShareGPTWorkload(seed))
+
+AGENTIC_WORKLOADS = ("hotpotqa", "webshop", "math", "humaneval")
+
+__all__ = [
+    "AGENTIC_WORKLOADS",
+    "BenchmarkInfo",
+    "HotpotQAWorkload",
+    "HumanEvalWorkload",
+    "MathWorkload",
+    "ShareGPTWorkload",
+    "Task",
+    "WebShopWorkload",
+    "Workload",
+    "available_workloads",
+    "create_workload",
+    "register_workload",
+]

@@ -1,0 +1,125 @@
+"""Workload abstractions: tasks, benchmark metadata, and the registry.
+
+A *workload* bundles everything one benchmark needs: a seeded task generator,
+the tool environment factory, the agent-facing action policy (which tool call
+a competent agent would issue at a given point in a task), and descriptive
+metadata used to regenerate the paper's Table II.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.llm.client import LLMClient
+from repro.llm.tokenizer import SyntheticTokenizer
+from repro.oracle.calibration import BenchmarkProfile, get_benchmark_profile
+from repro.sim import Environment
+from repro.sim.distributions import RandomStream
+from repro.tools.base import ToolAction, ToolSet
+
+
+@dataclass(frozen=True)
+class Task:
+    """One benchmark instance an agent is asked to solve."""
+
+    task_id: str
+    benchmark: str
+    question: str
+    user_tokens: int
+    difficulty: float
+    solution_depth: int
+    gold_answer: Any = None
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.difficulty <= 1.0:
+            raise ValueError(f"difficulty must be within [0, 1], got {self.difficulty}")
+        if self.solution_depth < 1:
+            raise ValueError("solution_depth must be >= 1")
+
+
+@dataclass(frozen=True)
+class BenchmarkInfo:
+    """Descriptive row of the paper's Table II."""
+
+    name: str
+    task_description: str
+    tools: str
+    agents: Tuple[str, ...]
+
+
+class Workload:
+    """Base class for benchmark workloads."""
+
+    name: str = "workload"
+    task_description: str = ""
+    tool_description: str = ""
+    supported_agents: Tuple[str, ...] = ()
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+        self.stream = RandomStream(seed, f"workload/{self.name}")
+        self.profile: BenchmarkProfile = get_benchmark_profile(self.name)
+
+    # -- to be provided by subclasses -----------------------------------------
+    def sample_tasks(self, count: int) -> List[Task]:
+        raise NotImplementedError
+
+    def build_toolset(
+        self,
+        env: Environment,
+        tokenizer: SyntheticTokenizer,
+        llm_client: Optional[LLMClient] = None,
+    ) -> ToolSet:
+        raise NotImplementedError
+
+    def action_for(self, task: Task, iteration: int, stream: RandomStream) -> ToolAction:
+        """The tool call a competent agent issues at ``iteration`` of ``task``."""
+        raise NotImplementedError
+
+    # -- shared helpers --------------------------------------------------------
+    def supports_agent(self, agent_name: str) -> bool:
+        return agent_name.lower() in self.supported_agents
+
+    def info(self) -> BenchmarkInfo:
+        return BenchmarkInfo(
+            name=self.name,
+            task_description=self.task_description,
+            tools=self.tool_description,
+            agents=self.supported_agents,
+        )
+
+    def _sample_difficulty(self, stream: RandomStream) -> float:
+        alpha, beta = self.profile.difficulty_beta
+        # Beta sample via two gamma draws to stay within RandomStream's API.
+        x = stream.lognormal(0.0, 0.4) * alpha
+        y = stream.lognormal(0.0, 0.4) * beta
+        return max(0.02, min(0.98, x / (x + y)))
+
+    def _sample_solution_depth(self, stream: RandomStream) -> int:
+        low, high = self.profile.solution_depth_range
+        return stream.integers(low, high + 1)
+
+    def _sample_user_tokens(self, stream: RandomStream) -> int:
+        return max(4, round(self.profile.user_tokens.sample(stream)))
+
+
+_WORKLOAD_FACTORIES: Dict[str, Callable[[int], Workload]] = {}
+
+
+def register_workload(name: str, factory: Callable[[int], Workload]) -> None:
+    """Register a workload factory under ``name`` (lower-case)."""
+    _WORKLOAD_FACTORIES[name.lower()] = factory
+
+
+def create_workload(name: str, seed: int = 0) -> Workload:
+    """Instantiate a registered workload."""
+    key = name.lower()
+    if key not in _WORKLOAD_FACTORIES:
+        raise KeyError(f"unknown workload {name!r}; known: {sorted(_WORKLOAD_FACTORIES)}")
+    return _WORKLOAD_FACTORIES[key](seed)
+
+
+def available_workloads() -> List[str]:
+    return sorted(_WORKLOAD_FACTORIES)

@@ -1,0 +1,98 @@
+"""HotpotQA-style multi-hop question answering workload."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.llm.client import LLMClient
+from repro.llm.tokenizer import SyntheticTokenizer
+from repro.sim import Environment
+from repro.sim.distributions import RandomStream
+from repro.tools.base import ToolAction, ToolSet
+from repro.tools.wikipedia import WikipediaCorpus, WikipediaTool
+from repro.workloads.base import Task, Workload
+
+
+class HotpotQAWorkload(Workload):
+    """Multi-hop questions over a synthetic, interlinked Wikipedia corpus.
+
+    Each task is generated from an actual relation chain in the corpus
+    (work -> creator -> birthplace, ...), so its ``solution_depth`` equals the
+    number of articles an agent has to retrieve, and the Wikipedia tool
+    returns the real (synthetic) article text for those retrievals.
+    """
+
+    name = "hotpotqa"
+    task_description = "Multi-hop question answering"
+    tool_description = "Wikipedia APIs (search, lookup keywords)"
+    supported_agents = ("cot", "react", "reflexion", "lats", "llmcompiler")
+
+    def __init__(self, seed: int = 0, corpus_size: int = 120):
+        super().__init__(seed)
+        self.corpus = WikipediaCorpus(self.stream.substream("corpus"), corpus_size)
+
+    # -- task generation ------------------------------------------------------
+    def sample_tasks(self, count: int) -> List[Task]:
+        stream = self.stream.substream("tasks")
+        works = [a for a in self.corpus.articles.values() if a.kind == "work"]
+        tasks: List[Task] = []
+        for index in range(count):
+            work = stream.choice(works)
+            creator_name = work.attributes["creator"]
+            creator = self.corpus.get(creator_name)
+            chain = [work.title, creator_name]
+            answer = creator.attributes.get("birthplace", "unknown") if creator else "unknown"
+            depth = self._sample_solution_depth(stream)
+            if depth >= 3 and creator is not None:
+                chain.append(answer)
+                place = self.corpus.get(answer)
+                answer = place.attributes.get("founded", "unknown") if place else "unknown"
+                question = (
+                    f"In which year was the settlement founded where the "
+                    f"{work.attributes['relation']} of {work.title} was born?"
+                )
+            else:
+                depth = 2
+                question = (
+                    f"Where was the {work.attributes['relation']} of {work.title} born?"
+                )
+            tasks.append(
+                Task(
+                    task_id=f"hotpotqa-{self.seed}-{index}",
+                    benchmark=self.name,
+                    question=question,
+                    user_tokens=self._sample_user_tokens(stream),
+                    difficulty=self._sample_difficulty(stream),
+                    solution_depth=depth,
+                    gold_answer=answer,
+                    metadata={"chain": chain},
+                )
+            )
+        return tasks
+
+    # -- environment ------------------------------------------------------------
+    def build_toolset(
+        self,
+        env: Environment,
+        tokenizer: SyntheticTokenizer,
+        llm_client: Optional[LLMClient] = None,
+    ) -> ToolSet:
+        tool = WikipediaTool(
+            env=env,
+            tokenizer=tokenizer,
+            latency_sampler=self.profile.tool_latency,
+            stream=self.stream.substream("wikipedia-tool"),
+            corpus=self.corpus,
+        )
+        return ToolSet([tool])
+
+    def action_for(self, task: Task, iteration: int, stream: RandomStream) -> ToolAction:
+        chain = task.metadata.get("chain", [])
+        if chain and iteration < len(chain):
+            return ToolAction(tool="wikipedia", action="search", argument=chain[iteration])
+        if chain and stream.random() < 0.5:
+            return ToolAction(
+                tool="wikipedia", action="lookup", argument=str(task.gold_answer)
+            )
+        argument = chain[-1] if chain else task.question.split()[-1]
+        return ToolAction(tool="wikipedia", action="search", argument=argument)

@@ -1,0 +1,110 @@
+"""MATH-style mathematical problem-solving workload."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.llm.client import LLMClient
+from repro.llm.tokenizer import SyntheticTokenizer
+from repro.sim import Environment
+from repro.sim.distributions import RandomStream
+from repro.tools.base import ToolAction, ToolSet
+from repro.tools.calculator import CalculatorTool, WolframAlphaTool, evaluate_expression
+from repro.workloads.base import Task, Workload
+
+
+class MathWorkload(Workload):
+    """Multi-step arithmetic/algebra word problems with computed gold answers.
+
+    Problems are generated as expression trees whose sub-expressions map to
+    reasoning steps; the agent offloads numeric work to the local calculator
+    and harder symbolic steps to the (slow) Wolfram Alpha API, matching the
+    paper's tool setup for MATH.
+    """
+
+    name = "math"
+    task_description = "Math problem solving"
+    tool_description = "Wolfram Alpha API, Python-based calculator"
+    supported_agents = ("cot", "react", "reflexion", "lats")
+
+    _TEMPLATES = [
+        "A workshop produces {a} units per day for {b} days, then {c} more units. How many units in total?",
+        "Compute the value of ({a} + {b}) * {c} - {d}.",
+        "A tank holds {a} liters and drains {b} liters per hour for {c} hours. How much remains?",
+        "If a triangle has legs {a} and {b}, what is the square of its hypotenuse plus {c}?",
+    ]
+
+    def sample_tasks(self, count: int) -> List[Task]:
+        stream = self.stream.substream("tasks")
+        tasks: List[Task] = []
+        for index in range(count):
+            a = stream.integers(3, 60)
+            b = stream.integers(2, 30)
+            c = stream.integers(2, 25)
+            d = stream.integers(1, 40)
+            depth = self._sample_solution_depth(stream)
+            template_index = stream.integers(0, len(self._TEMPLATES))
+            question = self._TEMPLATES[template_index].format(a=a, b=b, c=c, d=d)
+            expressions = self._expressions_for(template_index, a, b, c, d)[:depth]
+            answer = evaluate_expression(expressions[-1]) if expressions else 0.0
+            tasks.append(
+                Task(
+                    task_id=f"math-{self.seed}-{index}",
+                    benchmark=self.name,
+                    question=question,
+                    user_tokens=self._sample_user_tokens(stream),
+                    difficulty=self._sample_difficulty(stream),
+                    solution_depth=max(1, len(expressions)),
+                    gold_answer=answer,
+                    metadata={"expressions": expressions},
+                )
+            )
+        return tasks
+
+    @staticmethod
+    def _expressions_for(template_index: int, a: int, b: int, c: int, d: int) -> List[str]:
+        if template_index == 0:
+            return [f"{a} * {b}", f"{a} * {b} + {c}"]
+        if template_index == 1:
+            return [f"{a} + {b}", f"({a} + {b}) * {c}", f"({a} + {b}) * {c} - {d}"]
+        if template_index == 2:
+            return [f"{b} * {c}", f"{a} - {b} * {c}"]
+        return [f"{a}^2", f"{b}^2", f"{a}^2 + {b}^2 + {c}"]
+
+    def build_toolset(
+        self,
+        env: Environment,
+        tokenizer: SyntheticTokenizer,
+        llm_client: Optional[LLMClient] = None,
+    ) -> ToolSet:
+        wolfram = WolframAlphaTool(
+            env=env,
+            tokenizer=tokenizer,
+            latency_sampler=self.profile.tool_latency,
+            stream=self.stream.substream("wolfram-tool"),
+        )
+        calculator = CalculatorTool(
+            env=env,
+            tokenizer=tokenizer,
+            latency_sampler=self._calculator_latency(),
+            stream=self.stream.substream("calculator-tool"),
+        )
+        return ToolSet([wolfram, calculator])
+
+    @staticmethod
+    def _calculator_latency():
+        from repro.sim.distributions import LogNormalSampler
+
+        return LogNormalSampler(0.05, 0.3)
+
+    def action_for(self, task: Task, iteration: int, stream: RandomStream) -> ToolAction:
+        expressions = task.metadata.get("expressions", [])
+        expression = (
+            expressions[min(iteration, len(expressions) - 1)]
+            if expressions
+            else "1 + 1"
+        )
+        # Harder sub-steps go to Wolfram Alpha, simple arithmetic stays local.
+        use_wolfram = iteration == 0 or task.difficulty > 0.55 or stream.random() < 0.5
+        tool = "wolfram" if use_wolfram else "calculator"
+        return ToolAction(tool=tool, action="solve", argument=expression)

@@ -1,0 +1,56 @@
+"""ShareGPT-style single-turn chatbot workload (the non-agentic baseline)."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.llm.client import LLMClient
+from repro.llm.tokenizer import SyntheticTokenizer
+from repro.sim import Environment
+from repro.sim.distributions import RandomStream
+from repro.tools.base import ToolAction, ToolSet
+from repro.workloads.base import Task, Workload
+
+
+class ShareGPTWorkload(Workload):
+    """Conventional chatbot requests: one prompt, one LLM response, no tools.
+
+    Prompt and response lengths follow heavy-tailed log-normal distributions
+    matching public ShareGPT statistics (mean prompt ~290 tokens, mean
+    response ~250 tokens), which is all the serving-level comparison needs.
+    """
+
+    name = "sharegpt"
+    task_description = "Open-ended chatbot conversation (single turn)"
+    tool_description = "None (no external tools)"
+    supported_agents = ("chatbot",)
+
+    def sample_tasks(self, count: int) -> List[Task]:
+        stream = self.stream.substream("tasks")
+        tasks: List[Task] = []
+        for index in range(count):
+            output_tokens = max(8, round(self.profile.cot_output_tokens.sample(stream)))
+            tasks.append(
+                Task(
+                    task_id=f"sharegpt-{self.seed}-{index}",
+                    benchmark=self.name,
+                    question="(user conversation turn)",
+                    user_tokens=self._sample_user_tokens(stream),
+                    difficulty=0.5,
+                    solution_depth=1,
+                    gold_answer=None,
+                    metadata={"output_tokens": output_tokens},
+                )
+            )
+        return tasks
+
+    def build_toolset(
+        self,
+        env: Environment,
+        tokenizer: SyntheticTokenizer,
+        llm_client: Optional[LLMClient] = None,
+    ) -> ToolSet:
+        raise NotImplementedError("the chatbot workload does not use tools")
+
+    def action_for(self, task: Task, iteration: int, stream: RandomStream) -> ToolAction:
+        raise NotImplementedError("the chatbot workload does not use tools")

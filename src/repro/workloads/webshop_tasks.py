@@ -1,0 +1,95 @@
+"""WebShop-style online shopping workload."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.llm.client import LLMClient
+from repro.llm.tokenizer import SyntheticTokenizer
+from repro.sim import Environment
+from repro.sim.distributions import RandomStream
+from repro.tools.base import ToolAction, ToolSet
+from repro.tools.webshop import ProductCatalog, WebShopTool
+from repro.workloads.base import Task, Workload
+
+
+class WebShopWorkload(Workload):
+    """Find-and-buy tasks over a synthetic product catalogue.
+
+    Each task fixes a target product (so a matching item always exists) and a
+    set of attribute/price constraints; the agent has to reach it through
+    search and click navigation.  ``solution_depth`` is the number of
+    navigation actions a competent trajectory needs (search, open result,
+    choose options, buy), which is why WebShop requests involve far more
+    agent iterations than HotpotQA (paper Fig. 4).
+    """
+
+    name = "webshop"
+    task_description = "Online shopping"
+    tool_description = "Interactive web navigation (search, click)"
+    supported_agents = ("react", "reflexion", "lats", "llmcompiler")
+
+    def __init__(self, seed: int = 0, catalog_size: int = 400):
+        super().__init__(seed)
+        self.catalog = ProductCatalog(self.stream.substream("catalog"), catalog_size)
+
+    def sample_tasks(self, count: int) -> List[Task]:
+        stream = self.stream.substream("tasks")
+        tasks: List[Task] = []
+        for index in range(count):
+            target = stream.choice(self.catalog.products)
+            requirements = {"category": target.category, "color": target.color}
+            if stream.random() < 0.5:
+                requirements["material"] = target.material
+            max_price = round(target.price * stream.uniform(1.05, 1.4), 2)
+            question = (
+                f"I need a {target.color} {target.category}"
+                + (f" made of {target.material}" if "material" in requirements else "")
+                + f", and price lower than {max_price:.2f} dollars."
+            )
+            tasks.append(
+                Task(
+                    task_id=f"webshop-{self.seed}-{index}",
+                    benchmark=self.name,
+                    question=question,
+                    user_tokens=self._sample_user_tokens(stream),
+                    difficulty=self._sample_difficulty(stream),
+                    solution_depth=self._sample_solution_depth(stream),
+                    gold_answer=target.product_id,
+                    metadata={
+                        "requirements": requirements,
+                        "max_price": max_price,
+                        "target": target.product_id,
+                    },
+                )
+            )
+        return tasks
+
+    def build_toolset(
+        self,
+        env: Environment,
+        tokenizer: SyntheticTokenizer,
+        llm_client: Optional[LLMClient] = None,
+    ) -> ToolSet:
+        tool = WebShopTool(
+            env=env,
+            tokenizer=tokenizer,
+            latency_sampler=self.profile.tool_latency,
+            stream=self.stream.substream("webshop-tool"),
+            catalog=self.catalog,
+        )
+        return ToolSet([tool])
+
+    def action_for(self, task: Task, iteration: int, stream: RandomStream) -> ToolAction:
+        requirements = task.metadata.get("requirements", {})
+        target = task.metadata.get("target", "")
+        if iteration == 0:
+            query = " ".join(str(v) for v in requirements.values())
+            return ToolAction(tool="webshop", action="search", argument=query)
+        depth = task.solution_depth
+        if iteration >= depth - 1:
+            return ToolAction(tool="webshop", action="click", argument="buy now")
+        if iteration == 1:
+            return ToolAction(tool="webshop", action="click", argument=target)
+        option = stream.choice(list(requirements.values()) or ["medium"])
+        return ToolAction(tool="webshop", action="click", argument=str(option))

@@ -1,0 +1,29 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.llm import EngineConfig, LLMClient, LLMEngine
+from repro.llm.models import LLAMA_3_1_8B
+from repro.sim import Environment, RandomStream
+
+
+@pytest.fixture
+def env() -> Environment:
+    return Environment()
+
+
+@pytest.fixture
+def stream() -> RandomStream:
+    return RandomStream(1234, "tests")
+
+
+@pytest.fixture
+def engine(env: Environment) -> LLMEngine:
+    return LLMEngine(env, EngineConfig(model=LLAMA_3_1_8B))
+
+
+@pytest.fixture
+def client(env: Environment, engine: LLMEngine) -> LLMClient:
+    return LLMClient(env, engine)

@@ -1,0 +1,277 @@
+"""Tests for the agent workflows (CoT, ReAct, Reflexion, LATS, LLMCompiler, chatbot)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.agents import (
+    AgentConfig,
+    PAPER_AGENTS,
+    available_agents,
+    create_agent,
+    get_agent_class,
+)
+from repro.llm import EngineConfig, LLMClient, LLMEngine
+from repro.llm.models import get_model
+from repro.llm.tokenizer import SegmentKind
+from repro.sim import Environment, RandomStream
+from repro.workloads import create_workload
+
+
+def run_agent(agent_name, benchmark, config=None, seed=3, task_index=0, model="8b"):
+    """Build a fresh stack and run one request; returns (result, engine)."""
+    env = Environment()
+    engine = LLMEngine(env, EngineConfig(model=get_model(model)))
+    client = LLMClient(env, engine)
+    workload = create_workload(benchmark, seed=seed)
+    needs_tools = agent_name not in ("cot", "chatbot")
+    toolset = workload.build_toolset(env, client.tokenizer, client) if needs_tools else None
+    agent = create_agent(
+        agent_name,
+        env=env,
+        client=client,
+        workload=workload,
+        toolset=toolset,
+        config=config or AgentConfig(),
+        seed_stream=RandomStream(seed, f"test/{agent_name}"),
+    )
+    task = workload.sample_tasks(task_index + 1)[task_index]
+    result = env.run(agent.run_process(task))
+    return result, engine
+
+
+class TestAgentConfig:
+    def test_defaults_are_valid(self):
+        config = AgentConfig()
+        assert config.max_iterations >= 1
+        assert config.num_few_shot >= 0
+
+    @pytest.mark.parametrize(
+        "field", ["max_iterations", "max_trials", "num_children", "max_expansions"]
+    )
+    def test_non_positive_values_rejected(self, field):
+        with pytest.raises(ValueError):
+            AgentConfig(**{field: 0})
+
+    def test_negative_few_shot_rejected(self):
+        with pytest.raises(ValueError):
+            AgentConfig(num_few_shot=-1)
+
+    def test_with_overrides_returns_new_config(self):
+        config = AgentConfig()
+        updated = config.with_overrides(max_iterations=20)
+        assert updated.max_iterations == 20
+        assert config.max_iterations != 20
+
+    def test_describe_mentions_key_fields(self):
+        assert "fewshot=2" in AgentConfig().describe()
+
+
+class TestRegistry:
+    def test_paper_agents_all_registered(self):
+        for name in PAPER_AGENTS:
+            assert name in available_agents()
+
+    def test_unknown_agent_raises(self):
+        with pytest.raises(KeyError):
+            get_agent_class("autogpt")
+
+    def test_capabilities_match_table1(self):
+        rows = {name: get_agent_class(name).capabilities for name in PAPER_AGENTS}
+        assert not rows["cot"].tool_use
+        assert rows["react"].tool_use and not rows["react"].reflection
+        assert rows["reflexion"].reflection and not rows["reflexion"].tree_search
+        assert rows["lats"].tree_search and rows["lats"].reflection
+        assert rows["llmcompiler"].structured_planning and not rows["llmcompiler"].reflection
+
+    def test_agent_requiring_tools_rejects_missing_toolset(self):
+        env = Environment()
+        engine = LLMEngine(env, EngineConfig())
+        client = LLMClient(env, engine)
+        workload = create_workload("hotpotqa")
+        with pytest.raises(ValueError):
+            create_agent("react", env=env, client=client, workload=workload, toolset=None)
+
+    def test_unsupported_benchmark_rejected(self):
+        env = Environment()
+        engine = LLMEngine(env, EngineConfig())
+        client = LLMClient(env, engine)
+        workload = create_workload("webshop")
+        with pytest.raises(ValueError):
+            create_agent("cot", env=env, client=client, workload=workload, toolset=None)
+
+
+class TestCoT:
+    def test_single_llm_call_no_tools(self):
+        result, _ = run_agent("cot", "hotpotqa")
+        assert result.num_llm_calls == 1
+        assert result.num_tool_calls == 0
+        assert result.e2e_latency > 0
+
+    def test_prompt_contains_instruction_fewshot_user(self):
+        result, _ = run_agent("cot", "hotpotqa", config=AgentConfig(num_few_shot=3))
+        kinds = result.llm_calls[0].prompt_tokens_by_kind
+        assert kinds[SegmentKind.INSTRUCTION] > 0
+        assert kinds[SegmentKind.FEW_SHOT] > 0
+        assert kinds[SegmentKind.USER] > 0
+
+
+class TestReAct:
+    def test_interleaves_llm_and_tool_calls(self):
+        result, _ = run_agent("react", "hotpotqa")
+        assert result.num_llm_calls >= 2
+        assert result.num_tool_calls >= 1
+        assert result.num_llm_calls == result.num_tool_calls + 1
+
+    def test_respects_iteration_budget(self):
+        config = AgentConfig(max_iterations=3)
+        result, _ = run_agent("react", "hotpotqa", config=config)
+        assert result.num_tool_calls <= 3
+        assert result.num_llm_calls <= 4
+
+    def test_history_accumulates_in_prompt(self):
+        result, _ = run_agent("react", "hotpotqa")
+        first_call = result.llm_calls[0]
+        last_call = result.llm_calls[-1]
+        assert last_call.prompt_tokens > first_call.prompt_tokens
+        assert last_call.prompt_tokens_by_kind.get(SegmentKind.TOOL_HISTORY, 0) > 0
+
+    def test_tool_intervals_do_not_overlap_llm_calls(self):
+        result, _ = run_agent("react", "hotpotqa")
+        from repro.core import LatencyBreakdown
+
+        breakdown = LatencyBreakdown.from_result(result)
+        assert breakdown.overlap_time < 0.05 * breakdown.total + 1e-6
+
+    def test_larger_iteration_budget_never_reduces_call_count(self):
+        small, _ = run_agent("react", "webshop", config=AgentConfig(max_iterations=3))
+        large, _ = run_agent("react", "webshop", config=AgentConfig(max_iterations=20))
+        assert large.num_llm_calls >= small.num_llm_calls
+
+
+class TestReflexion:
+    def test_runs_multiple_trials_when_allowed(self):
+        config = AgentConfig(max_iterations=5, max_trials=4)
+        result, _ = run_agent("reflexion", "hotpotqa", config=config, task_index=1)
+        assert 1 <= result.trials <= 4
+
+    def test_single_trial_config_behaves_like_react(self):
+        config = AgentConfig(max_iterations=5, max_trials=1)
+        result, _ = run_agent("reflexion", "hotpotqa", config=config)
+        assert result.trials == 1
+
+    def test_more_trials_mean_more_llm_calls_on_hard_tasks(self):
+        few = AgentConfig(max_iterations=5, max_trials=1)
+        many = AgentConfig(max_iterations=5, max_trials=8)
+        totals_few, totals_many = 0, 0
+        for index in range(4):
+            few_result, _ = run_agent("reflexion", "hotpotqa", config=few, task_index=index)
+            many_result, _ = run_agent("reflexion", "hotpotqa", config=many, task_index=index)
+            totals_few += few_result.num_llm_calls
+            totals_many += many_result.num_llm_calls
+        assert totals_many > totals_few
+
+
+class TestLATS:
+    def test_issues_parallel_children_per_expansion(self):
+        config = AgentConfig(num_children=4, max_expansions=6)
+        result, engine = run_agent("lats", "hotpotqa", config=config)
+        expansions = result.metadata["expansions"]
+        # children + evaluation call per expansion, plus the final answer call.
+        assert result.num_llm_calls == expansions * 5 + 1
+        assert result.num_tool_calls == expansions * 4
+        max_batch = max(
+            record.batch_size for record in engine.step_records if record.kind == "decode"
+        )
+        assert max_batch >= 2  # children were actually decoded concurrently
+
+    def test_respects_expansion_budget(self):
+        config = AgentConfig(num_children=2, max_expansions=3)
+        result, _ = run_agent("lats", "hotpotqa", config=config)
+        assert result.metadata["expansions"] <= 3
+
+    def test_more_children_reduce_expansions_on_average(self):
+        def mean_expansions(children):
+            total = 0
+            for index in range(5):
+                config = AgentConfig(num_children=children, max_expansions=16)
+                result, _ = run_agent("lats", "hotpotqa", config=config, task_index=index)
+                total += result.metadata["expansions"]
+            return total / 5
+
+        assert mean_expansions(8) <= mean_expansions(1)
+
+    def test_makes_many_more_llm_calls_than_react(self):
+        react, _ = run_agent("react", "hotpotqa")
+        lats, _ = run_agent("lats", "hotpotqa", config=AgentConfig(num_children=5, max_expansions=12))
+        assert lats.num_llm_calls > 3 * react.num_llm_calls
+
+
+class TestLLMCompiler:
+    def test_fewer_llm_calls_than_react_on_average(self):
+        compiler_calls, react_calls = 0, 0
+        for index in range(5):
+            compiler, _ = run_agent("llmcompiler", "hotpotqa", task_index=index)
+            react, _ = run_agent("react", "hotpotqa", task_index=index)
+            compiler_calls += compiler.num_llm_calls
+            react_calls += react.num_llm_calls
+        assert compiler_calls <= react_calls
+
+    def test_produces_overlap_between_planning_and_tools(self):
+        from repro.core import LatencyBreakdown
+
+        overlaps = []
+        for index in range(4):
+            result, _ = run_agent("llmcompiler", "hotpotqa", task_index=index)
+            overlaps.append(LatencyBreakdown.from_result(result).overlap_time)
+        assert max(overlaps) > 0
+
+    def test_webshop_overfetches_tool_calls(self):
+        compiler, _ = run_agent("llmcompiler", "webshop")
+        react, _ = run_agent("react", "webshop")
+        assert compiler.num_tool_calls >= 4
+        assert compiler.num_llm_calls < react.num_llm_calls
+
+
+class TestChatbot:
+    def test_single_call_and_always_successful(self):
+        result, _ = run_agent("chatbot", "sharegpt")
+        assert result.num_llm_calls == 1
+        assert result.num_tool_calls == 0
+        assert result.answer_correct
+        assert result.score == 1.0
+
+    def test_output_length_comes_from_task_metadata(self):
+        env = Environment()
+        engine = LLMEngine(env, EngineConfig())
+        client = LLMClient(env, engine)
+        workload = create_workload("sharegpt", seed=3)
+        agent = create_agent("chatbot", env=env, client=client, workload=workload)
+        task = workload.sample_tasks(1)[0]
+        result = env.run(agent.run_process(task))
+        assert result.llm_calls[0].output_tokens == task.metadata["output_tokens"]
+
+
+class TestTraceConsistency:
+    @pytest.mark.parametrize("agent_name", ["cot", "react", "reflexion", "lats", "llmcompiler"])
+    def test_trace_intervals_lie_within_request_window(self, agent_name):
+        result, _ = run_agent(agent_name, "hotpotqa", config=AgentConfig(max_expansions=4))
+        for start, end in result.llm_intervals() + result.tool_intervals():
+            assert result.start_time - 1e-9 <= start <= end <= result.end_time + 1e-9
+
+    @pytest.mark.parametrize("agent_name", ["react", "reflexion", "llmcompiler"])
+    def test_latency_equals_window(self, agent_name):
+        result, _ = run_agent(agent_name, "hotpotqa")
+        assert result.e2e_latency == pytest.approx(result.end_time - result.start_time)
+
+    def test_deterministic_given_seed(self):
+        a, _ = run_agent("react", "hotpotqa", seed=11)
+        b, _ = run_agent("react", "hotpotqa", seed=11)
+        assert a.num_llm_calls == b.num_llm_calls
+        assert a.e2e_latency == pytest.approx(b.e2e_latency)
+        assert a.answer_correct == b.answer_correct
+
+    def test_total_tokens_positive_and_consistent(self):
+        result, _ = run_agent("react", "math")
+        assert result.total_tokens == result.total_prompt_tokens + result.total_output_tokens
+        assert result.total_prompt_tokens > 0

@@ -1,0 +1,149 @@
+"""Tests for the synthetic tokenizer, prompts, and block hashing."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.llm.tokenizer import (
+    Prompt,
+    SegmentKind,
+    SyntheticTokenizer,
+    TokenSpan,
+    block_hashes,
+)
+
+
+@pytest.fixture
+def tokenizer() -> SyntheticTokenizer:
+    return SyntheticTokenizer()
+
+
+class TestSyntheticTokenizer:
+    def test_encode_is_deterministic(self, tokenizer):
+        assert tokenizer.encode("the quick brown fox") == tokenizer.encode("the quick brown fox")
+
+    def test_encode_empty_string(self, tokenizer):
+        assert tokenizer.encode("") == ()
+
+    def test_encode_different_text_differs(self, tokenizer):
+        assert tokenizer.encode("alpha beta") != tokenizer.encode("gamma delta")
+
+    def test_count_matches_encode_length(self, tokenizer):
+        text = "a reasonably long sentence with several words inside it"
+        assert tokenizer.count(text) == len(tokenizer.encode(text))
+
+    def test_token_ids_within_vocab(self, tokenizer):
+        ids = tokenizer.encode("some words to check the vocabulary bounds carefully")
+        assert all(0 <= token < tokenizer.vocab_size for token in ids)
+
+    def test_synthetic_tokens_deterministic_and_exact_length(self, tokenizer):
+        a = tokenizer.synthetic_tokens("stream-x", 137)
+        b = tokenizer.synthetic_tokens("stream-x", 137)
+        assert a == b
+        assert len(a) == 137
+
+    def test_synthetic_tokens_prefix_property(self, tokenizer):
+        shorter = tokenizer.synthetic_tokens("stream-y", 50)
+        longer = tokenizer.synthetic_tokens("stream-y", 80)
+        assert longer[:50] == shorter
+
+    def test_synthetic_tokens_zero_or_negative_count(self, tokenizer):
+        assert tokenizer.synthetic_tokens("s", 0) == ()
+        assert tokenizer.synthetic_tokens("s", -3) == ()
+
+    def test_different_streams_differ(self, tokenizer):
+        assert tokenizer.synthetic_tokens("a", 32) != tokenizer.synthetic_tokens("b", 32)
+
+    def test_span_constructor(self, tokenizer):
+        span = tokenizer.span(SegmentKind.INSTRUCTION, "instr", 25)
+        assert span.kind is SegmentKind.INSTRUCTION
+        assert len(span) == 25
+
+    def test_text_span_constructor(self, tokenizer):
+        span = tokenizer.text_span(SegmentKind.TOOL_HISTORY, "observation text here")
+        assert span.kind is SegmentKind.TOOL_HISTORY
+        assert len(span) > 0
+
+    def test_invalid_vocab_size_raises(self):
+        with pytest.raises(ValueError):
+            SyntheticTokenizer(vocab_size=1)
+
+    @given(st.text(min_size=0, max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_encode_never_crashes_and_is_stable(self, text):
+        tokenizer = SyntheticTokenizer()
+        assert tokenizer.encode(text) == tokenizer.encode(text)
+
+
+class TestPrompt:
+    def test_empty_prompt_has_zero_length(self):
+        assert len(Prompt()) == 0
+
+    def test_append_skips_empty_spans(self):
+        prompt = Prompt()
+        prompt.append(TokenSpan(SegmentKind.USER, ()))
+        assert len(prompt.spans) == 0
+
+    def test_token_ids_concatenate_spans_in_order(self, tokenizer):
+        prompt = Prompt()
+        span_a = tokenizer.span(SegmentKind.INSTRUCTION, "a", 10)
+        span_b = tokenizer.span(SegmentKind.USER, "b", 5)
+        prompt.extend([span_a, span_b])
+        assert prompt.token_ids == span_a.tokens + span_b.tokens
+        assert len(prompt) == 15
+
+    def test_count_by_kind(self, tokenizer):
+        prompt = Prompt()
+        prompt.append(tokenizer.span(SegmentKind.INSTRUCTION, "a", 10))
+        prompt.append(tokenizer.span(SegmentKind.FEW_SHOT, "b", 20))
+        prompt.append(tokenizer.span(SegmentKind.FEW_SHOT, "c", 5))
+        counts = prompt.count_by_kind()
+        assert counts[SegmentKind.INSTRUCTION] == 10
+        assert counts[SegmentKind.FEW_SHOT] == 25
+        assert counts[SegmentKind.OUTPUT] == 0
+
+    def test_copy_is_independent(self, tokenizer):
+        prompt = Prompt()
+        prompt.append(tokenizer.span(SegmentKind.USER, "u", 8))
+        clone = prompt.copy()
+        clone.append(tokenizer.span(SegmentKind.LLM_HISTORY, "h", 4))
+        assert len(prompt) == 8
+        assert len(clone) == 12
+
+
+class TestBlockHashes:
+    def test_partial_block_is_ignored(self):
+        tokens = tuple(range(20))
+        assert len(block_hashes(tokens, block_size=16)) == 1
+
+    def test_exact_multiple_of_block_size(self):
+        tokens = tuple(range(48))
+        assert len(block_hashes(tokens, block_size=16)) == 3
+
+    def test_shared_prefix_shares_hashes(self):
+        base = tuple(range(64))
+        extended = base + tuple(range(1000, 1032))
+        hashes_base = block_hashes(base, 16)
+        hashes_extended = block_hashes(extended, 16)
+        assert hashes_extended[: len(hashes_base)] == hashes_base
+
+    def test_divergent_prefix_changes_all_following_hashes(self):
+        a = tuple(range(64))
+        b = (999,) + tuple(range(1, 64))
+        hashes_a = block_hashes(a, 16)
+        hashes_b = block_hashes(b, 16)
+        assert all(x != y for x, y in zip(hashes_a, hashes_b))
+
+    def test_chained_hashing_depends_on_earlier_blocks(self):
+        a = tuple(range(32))
+        b = tuple(range(16, 48))
+        # The second block of `a` covers the same tokens as the first of `b`,
+        # but the chain makes their hashes differ.
+        assert block_hashes(a, 16)[1] != block_hashes(b, 16)[0]
+
+    @given(st.lists(st.integers(0, 1000), min_size=0, max_size=200), st.integers(1, 32))
+    @settings(max_examples=50, deadline=None)
+    def test_hash_count_matches_full_blocks(self, tokens, block_size):
+        assert len(block_hashes(tokens, block_size)) == len(tokens) // block_size

@@ -1,0 +1,182 @@
+"""Tests for the agent serving system, load generation, and QPS sweeps."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.agents import AgentConfig
+from repro.core import SingleRequestRunner
+from repro.serving import (
+    AgentServer,
+    ArrivalPlan,
+    ServingConfig,
+    poisson_plan,
+    run_at_qps,
+    sequential_plan,
+    sweep_qps,
+    uniform_plan,
+)
+from repro.sim import RandomStream
+from repro.workloads import create_workload
+
+
+class TestArrivalPlans:
+    def test_poisson_plan_shapes(self):
+        workload = create_workload("hotpotqa", seed=1)
+        plan = poisson_plan(workload, qps=2.0, num_requests=50, stream=RandomStream(1, "p"))
+        assert len(plan) == 50
+        assert plan.offered_qps == pytest.approx(2.0, rel=0.4)
+        assert all(b >= a for a, b in zip(plan.arrival_times, plan.arrival_times[1:]))
+
+    def test_poisson_plan_requires_requests(self):
+        workload = create_workload("hotpotqa", seed=1)
+        with pytest.raises(ValueError):
+            poisson_plan(workload, qps=1.0, num_requests=0, stream=RandomStream(1, "p"))
+
+    def test_uniform_plan_evenly_spaced(self):
+        workload = create_workload("webshop", seed=1)
+        plan = uniform_plan(workload, qps=2.0, num_requests=4)
+        gaps = [b - a for a, b in zip(plan.arrival_times, plan.arrival_times[1:])]
+        assert all(gap == pytest.approx(0.5) for gap in gaps)
+
+    def test_sequential_plan_all_at_time_zero(self):
+        workload = create_workload("hotpotqa", seed=1)
+        plan = sequential_plan(workload, 5)
+        assert plan.arrival_times == [0.0] * 5
+
+    def test_mismatched_lengths_rejected(self):
+        workload = create_workload("hotpotqa", seed=1)
+        tasks = workload.sample_tasks(2)
+        with pytest.raises(ValueError):
+            ArrivalPlan(arrival_times=[0.0], tasks=tasks)
+
+    def test_decreasing_arrival_times_rejected(self):
+        workload = create_workload("hotpotqa", seed=1)
+        tasks = workload.sample_tasks(2)
+        with pytest.raises(ValueError):
+            ArrivalPlan(arrival_times=[2.0, 1.0], tasks=tasks)
+
+
+def small_config(**overrides) -> ServingConfig:
+    defaults = dict(
+        agent="react",
+        benchmark="hotpotqa",
+        model="8b",
+        agent_config=AgentConfig(max_iterations=5),
+        max_decode_chunk=8,
+        seed=0,
+    )
+    defaults.update(overrides)
+    return ServingConfig(**defaults)
+
+
+class TestAgentServer:
+    def test_open_loop_serving_completes_all_requests(self):
+        result = run_at_qps(small_config(), qps=1.0, num_requests=12, task_pool_size=8)
+        assert result.num_completed == 12
+        assert result.throughput_qps > 0
+        assert result.p95_latency >= result.latency_stats.p50
+        assert result.energy_wh > 0
+
+    def test_sequential_serving(self):
+        server = AgentServer(small_config())
+        result = server.serve_sequential(4)
+        assert result.num_completed == 4
+        assert result.offered_qps == 0.0
+        assert result.duration == pytest.approx(sum(result.latencies), rel=0.05)
+
+    def test_concurrent_serving_beats_sequential_throughput(self):
+        sequential = AgentServer(small_config()).serve_sequential(8)
+        concurrent = run_at_qps(small_config(), qps=2.0, num_requests=8, task_pool_size=8)
+        assert concurrent.throughput_qps > sequential.throughput_qps
+
+    def test_chatbot_serving_has_low_latency_variance(self):
+        config = small_config(agent="chatbot", benchmark="sharegpt")
+        result = run_at_qps(config, qps=2.0, num_requests=15, task_pool_size=15)
+        assert result.num_completed == 15
+        assert result.p95_latency < 4 * result.latency_stats.p50 + 1.0
+
+    def test_higher_load_increases_tail_latency(self):
+        low = run_at_qps(small_config(), qps=0.3, num_requests=15, task_pool_size=10)
+        high = run_at_qps(small_config(), qps=4.0, num_requests=15, task_pool_size=10)
+        assert high.p95_latency > low.p95_latency
+
+    def test_prefix_caching_improves_hit_rate_and_latency(self):
+        cached = run_at_qps(small_config(enable_prefix_caching=True), qps=1.0, num_requests=12)
+        uncached = run_at_qps(small_config(enable_prefix_caching=False), qps=1.0, num_requests=12)
+        assert cached.prefix_cache_hit_rate > 0.5
+        assert uncached.prefix_cache_hit_rate == 0.0
+        assert cached.p95_latency <= uncached.p95_latency * 1.05
+
+    def test_kv_memory_lower_with_prefix_caching(self):
+        cached = run_at_qps(small_config(enable_prefix_caching=True), qps=0.5, num_requests=12)
+        uncached = run_at_qps(small_config(enable_prefix_caching=False), qps=0.5, num_requests=12)
+        assert cached.kv_average_bytes < uncached.kv_average_bytes
+        assert cached.kv_max_bytes <= uncached.kv_max_bytes
+
+    def test_energy_per_query_positive(self):
+        result = run_at_qps(small_config(), qps=0.5, num_requests=6)
+        assert result.energy_wh_per_query > 0
+
+    def test_serving_result_accuracy_in_unit_range(self):
+        result = run_at_qps(small_config(), qps=0.5, num_requests=10)
+        assert 0.0 <= result.accuracy <= 1.0
+
+
+class TestQpsSweep:
+    def test_sweep_produces_one_result_per_qps(self):
+        sweep = sweep_qps(small_config(), qps_values=(0.5, 1.0), num_requests=8, task_pool_size=8)
+        assert len(sweep.results) == 2
+        assert sweep.qps_values == [pytest.approx(0.5, rel=0.6), pytest.approx(1.0, rel=0.6)]
+        assert len(sweep.p95_latencies) == 2
+
+    def test_peak_throughput_positive_and_bounded(self):
+        sweep = sweep_qps(small_config(), qps_values=(0.25, 0.5, 1.0), num_requests=10)
+        peak = sweep.peak_throughput()
+        assert 0 < peak <= 1.5
+
+    def test_peak_throughput_empty_sweep_is_zero(self):
+        from repro.serving.sweep import QpsSweepResult
+
+        assert QpsSweepResult(config=small_config()).peak_throughput() == 0.0
+
+    def test_sharegpt_peak_higher_than_agent_peak(self):
+        agent_sweep = sweep_qps(small_config(), qps_values=(0.5, 1.0), num_requests=10)
+        chatbot_sweep = sweep_qps(
+            small_config(agent="chatbot", benchmark="sharegpt"),
+            qps_values=(2.0, 4.0),
+            num_requests=10,
+        )
+        assert chatbot_sweep.peak_throughput() > agent_sweep.peak_throughput()
+
+
+class TestSingleRequestRunnerIntegration:
+    def test_runner_produces_observations_with_engine_metrics(self):
+        runner = SingleRequestRunner(model="8b", seed=1)
+        result = runner.run("react", "hotpotqa", num_tasks=3)
+        assert result.num_requests == 3
+        for observation in result.observations:
+            assert observation.energy_wh > 0
+            assert observation.gpu.total > 0
+            assert observation.kv_max_bytes > 0
+        assert result.mean_llm_calls >= 2
+        assert 0 <= result.accuracy <= 1
+
+    def test_runner_respects_explicit_tasks(self):
+        runner = SingleRequestRunner(model="8b", seed=1)
+        workload = create_workload("math", seed=1)
+        tasks = workload.sample_tasks(2)
+        result = runner.run("react", "math", tasks=tasks)
+        assert result.num_requests == 2
+        assert [obs.result.task_id for obs in result.observations] == [t.task_id for t in tasks]
+
+    def test_gpu_idle_fraction_larger_for_slow_tools(self):
+        runner = SingleRequestRunner(model="8b", seed=1)
+        hotpot = runner.run("react", "hotpotqa", num_tasks=4)
+        webshop = runner.run("react", "webshop", num_tasks=4)
+        assert hotpot.gpu_breakdown().fractions["idle"] > webshop.gpu_breakdown().fractions["idle"]
+
+    def test_prefix_caching_flag_reflected_in_result(self):
+        runner = SingleRequestRunner(model="8b", enable_prefix_caching=False, seed=1)
+        result = runner.run("cot", "hotpotqa", num_tasks=2)
+        assert result.prefix_caching is False

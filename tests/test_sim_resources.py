@@ -1,0 +1,177 @@
+"""Unit tests for simulation resources (Resource, Store)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import Environment, Resource, SimulationError, Store
+
+
+class TestResource:
+    def test_capacity_must_be_positive(self, env):
+        with pytest.raises(SimulationError):
+            Resource(env, capacity=0)
+
+    def test_request_granted_immediately_when_free(self, env):
+        resource = Resource(env, capacity=1)
+
+        def proc():
+            request = resource.request()
+            yield request
+            return env.now
+
+        assert env.run(env.process(proc())) == pytest.approx(0.0)
+
+    def test_requests_queue_when_full(self, env):
+        resource = Resource(env, capacity=1)
+        grants = []
+
+        def holder():
+            request = resource.request()
+            yield request
+            yield env.timeout(5.0)
+            resource.release(request)
+
+        def waiter():
+            request = resource.request()
+            yield request
+            grants.append(env.now)
+            resource.release(request)
+
+        env.process(holder())
+        env.process(waiter())
+        env.run()
+        assert grants == [pytest.approx(5.0)]
+
+    def test_count_tracks_users(self, env):
+        resource = Resource(env, capacity=2)
+
+        def proc():
+            first = resource.request()
+            yield first
+            second = resource.request()
+            yield second
+            assert resource.count == 2
+            resource.release(first)
+            assert resource.count == 1
+            resource.release(second)
+            return resource.count
+
+        assert env.run(env.process(proc())) == 0
+
+    def test_fifo_granting_order(self, env):
+        resource = Resource(env, capacity=1)
+        order = []
+
+        def holder():
+            request = resource.request()
+            yield request
+            yield env.timeout(1.0)
+            resource.release(request)
+
+        def waiter(name, delay):
+            yield env.timeout(delay)
+            request = resource.request()
+            yield request
+            order.append(name)
+            yield env.timeout(0.5)
+            resource.release(request)
+
+        env.process(holder())
+        env.process(waiter("first", 0.1))
+        env.process(waiter("second", 0.2))
+        env.run()
+        assert order == ["first", "second"]
+
+    def test_release_of_queued_request_removes_it(self, env):
+        resource = Resource(env, capacity=1)
+
+        def proc():
+            held = resource.request()
+            yield held
+            queued = resource.request()
+            resource.release(queued)     # cancel before it was ever granted
+            resource.release(held)
+            return len(resource.queue), resource.count
+
+        queue_len, count = env.run(env.process(proc()))
+        assert queue_len == 0
+        assert count == 0
+
+    def test_context_manager_releases(self, env):
+        resource = Resource(env, capacity=1)
+
+        def proc():
+            with resource.request() as request:
+                yield request
+                assert resource.count == 1
+            return resource.count
+
+        assert env.run(env.process(proc())) == 0
+
+
+class TestStore:
+    def test_put_then_get(self, env):
+        store = Store(env)
+
+        def proc():
+            store.put("item")
+            value = yield store.get()
+            return value
+
+        assert env.run(env.process(proc())) == "item"
+
+    def test_get_blocks_until_put(self, env):
+        store = Store(env)
+
+        def consumer():
+            value = yield store.get()
+            return value, env.now
+
+        def producer():
+            yield env.timeout(4.0)
+            store.put("late-item")
+
+        consumer_process = env.process(consumer())
+        env.process(producer())
+        value, when = env.run(consumer_process)
+        assert value == "late-item"
+        assert when == pytest.approx(4.0)
+
+    def test_fifo_ordering_of_items(self, env):
+        store = Store(env)
+
+        def proc():
+            for index in range(3):
+                store.put(index)
+            values = []
+            for _ in range(3):
+                values.append((yield store.get()))
+            return values
+
+        assert env.run(env.process(proc())) == [0, 1, 2]
+
+    def test_fifo_ordering_of_getters(self, env):
+        store = Store(env)
+        received = []
+
+        def consumer(name):
+            value = yield store.get()
+            received.append((name, value))
+
+        def producer():
+            yield env.timeout(1.0)
+            store.put("a")
+            store.put("b")
+
+        env.process(consumer("first"))
+        env.process(consumer("second"))
+        env.process(producer())
+        env.run()
+        assert received == [("first", "a"), ("second", "b")]
+
+    def test_len_reflects_buffered_items(self, env):
+        store = Store(env)
+        store.put(1)
+        store.put(2)
+        assert len(store) == 2

@@ -1,0 +1,214 @@
+"""Tests for the benchmark workloads and their action policies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.llm.tokenizer import SyntheticTokenizer
+from repro.sim import Environment, RandomStream
+from repro.tools.calculator import evaluate_expression
+from repro.workloads import (
+    AGENTIC_WORKLOADS,
+    HotpotQAWorkload,
+    HumanEvalWorkload,
+    MathWorkload,
+    ShareGPTWorkload,
+    WebShopWorkload,
+    available_workloads,
+    create_workload,
+)
+
+TOKENIZER = SyntheticTokenizer()
+ALL_WORKLOADS = ("hotpotqa", "webshop", "math", "humaneval", "sharegpt")
+
+
+class TestRegistry:
+    def test_all_paper_workloads_registered(self):
+        registered = available_workloads()
+        for name in ALL_WORKLOADS:
+            assert name in registered
+
+    def test_create_unknown_workload_raises(self):
+        with pytest.raises(KeyError):
+            create_workload("gsm8k")
+
+    def test_create_is_case_insensitive(self):
+        assert create_workload("HotpotQA").name == "hotpotqa"
+
+    def test_agentic_workloads_excludes_sharegpt(self):
+        assert "sharegpt" not in AGENTIC_WORKLOADS
+        assert len(AGENTIC_WORKLOADS) == 4
+
+
+@pytest.mark.parametrize("name", ALL_WORKLOADS)
+class TestCommonWorkloadProperties:
+    def test_tasks_have_valid_fields(self, name):
+        workload = create_workload(name, seed=2)
+        tasks = workload.sample_tasks(10)
+        assert len(tasks) == 10
+        for task in tasks:
+            assert task.benchmark == name
+            assert 0.0 <= task.difficulty <= 1.0
+            assert task.solution_depth >= 1
+            assert task.user_tokens > 0
+            assert task.task_id
+
+    def test_task_ids_are_unique(self, name):
+        tasks = create_workload(name, seed=2).sample_tasks(20)
+        assert len({task.task_id for task in tasks}) == 20
+
+    def test_same_seed_same_tasks(self, name):
+        a = create_workload(name, seed=7).sample_tasks(5)
+        b = create_workload(name, seed=7).sample_tasks(5)
+        assert [t.task_id for t in a] == [t.task_id for t in b]
+        assert [t.difficulty for t in a] == [t.difficulty for t in b]
+
+    def test_different_seeds_differ(self, name):
+        a = create_workload(name, seed=1).sample_tasks(8)
+        b = create_workload(name, seed=2).sample_tasks(8)
+        assert [t.user_tokens for t in a] != [t.user_tokens for t in b]
+
+    def test_info_matches_table2_contract(self, name):
+        info = create_workload(name).info()
+        assert info.name == name
+        assert info.task_description
+        assert info.agents
+
+
+class TestAgentSupportMatrix:
+    """The paper's agent/benchmark omissions (Section III)."""
+
+    def test_cot_excluded_from_webshop(self):
+        assert not create_workload("webshop").supports_agent("cot")
+
+    def test_llmcompiler_excluded_from_math_and_humaneval(self):
+        assert not create_workload("math").supports_agent("llmcompiler")
+        assert not create_workload("humaneval").supports_agent("llmcompiler")
+
+    def test_hotpotqa_supports_all_five_agents(self):
+        workload = create_workload("hotpotqa")
+        for agent in ("cot", "react", "reflexion", "lats", "llmcompiler"):
+            assert workload.supports_agent(agent)
+
+    def test_sharegpt_supports_only_chatbot(self):
+        workload = create_workload("sharegpt")
+        assert workload.supports_agent("chatbot")
+        assert not workload.supports_agent("react")
+
+
+class TestHotpotQA:
+    def test_questions_follow_relation_chain(self):
+        workload = HotpotQAWorkload(seed=4)
+        for task in workload.sample_tasks(10):
+            chain = task.metadata["chain"]
+            assert len(chain) == task.solution_depth
+            for title in chain:
+                assert workload.corpus.get(title) is not None
+
+    def test_gold_answer_is_derivable_from_corpus(self):
+        workload = HotpotQAWorkload(seed=4)
+        task = workload.sample_tasks(1)[0]
+        work = workload.corpus.get(task.metadata["chain"][0])
+        creator = workload.corpus.get(work.attributes["creator"])
+        assert creator is not None
+
+    def test_action_for_walks_the_chain(self):
+        workload = HotpotQAWorkload(seed=4)
+        task = workload.sample_tasks(1)[0]
+        stream = RandomStream(1, "actions")
+        first = workload.action_for(task, 0, stream)
+        assert first.tool == "wikipedia"
+        assert first.argument == task.metadata["chain"][0]
+
+    def test_toolset_contains_wikipedia(self):
+        env = Environment()
+        workload = HotpotQAWorkload(seed=4)
+        tools = workload.build_toolset(env, TOKENIZER)
+        assert tools.names == ("wikipedia",)
+
+
+class TestWebShopWorkload:
+    def test_target_product_satisfies_requirements(self):
+        workload = WebShopWorkload(seed=6)
+        for task in workload.sample_tasks(10):
+            target = workload.catalog.get(task.metadata["target"])
+            assert target is not None
+            assert target.matches(task.metadata["requirements"], task.metadata["max_price"])
+
+    def test_action_sequence_ends_with_buy(self):
+        workload = WebShopWorkload(seed=6)
+        task = workload.sample_tasks(1)[0]
+        stream = RandomStream(1, "actions")
+        final = workload.action_for(task, task.solution_depth - 1, stream)
+        assert final.action == "click"
+        assert final.argument == "buy now"
+
+    def test_first_action_is_search(self):
+        workload = WebShopWorkload(seed=6)
+        task = workload.sample_tasks(1)[0]
+        action = workload.action_for(task, 0, RandomStream(1, "a"))
+        assert action.action == "search"
+
+
+class TestMathWorkload:
+    def test_gold_answer_matches_final_expression(self):
+        workload = MathWorkload(seed=8)
+        for task in workload.sample_tasks(10):
+            expressions = task.metadata["expressions"]
+            assert task.gold_answer == pytest.approx(evaluate_expression(expressions[-1]))
+
+    def test_solution_depth_matches_expression_count(self):
+        workload = MathWorkload(seed=8)
+        for task in workload.sample_tasks(10):
+            assert task.solution_depth == len(task.metadata["expressions"])
+
+    def test_toolset_has_wolfram_and_calculator(self):
+        env = Environment()
+        tools = MathWorkload(seed=8).build_toolset(env, TOKENIZER)
+        assert set(tools.names) == {"wolfram", "calculator"}
+
+    def test_action_uses_known_expression(self):
+        workload = MathWorkload(seed=8)
+        task = workload.sample_tasks(1)[0]
+        action = workload.action_for(task, 0, RandomStream(2, "a"))
+        assert action.tool in ("wolfram", "calculator")
+        assert action.argument in task.metadata["expressions"]
+
+
+class TestHumanEvalWorkload:
+    def test_question_contains_function_signature(self):
+        workload = HumanEvalWorkload(seed=9)
+        for task in workload.sample_tasks(5):
+            assert task.question.startswith("def ")
+            assert task.metadata["function"] in task.question
+
+    def test_action_runs_tests(self):
+        workload = HumanEvalWorkload(seed=9)
+        task = workload.sample_tasks(1)[0]
+        action = workload.action_for(task, 0, RandomStream(2, "a"))
+        assert action.tool == "python_exec"
+        assert action.action == "run_tests"
+
+
+class TestShareGPTWorkload:
+    def test_tasks_carry_output_lengths(self):
+        workload = ShareGPTWorkload(seed=10)
+        tasks = workload.sample_tasks(50)
+        lengths = [task.metadata["output_tokens"] for task in tasks]
+        assert all(length >= 8 for length in lengths)
+        assert 120 < sum(lengths) / len(lengths) < 450
+
+    def test_no_tools_available(self):
+        workload = ShareGPTWorkload(seed=10)
+        with pytest.raises(NotImplementedError):
+            workload.build_toolset(Environment(), TOKENIZER)
+        with pytest.raises(NotImplementedError):
+            workload.action_for(workload.sample_tasks(1)[0], 0, RandomStream(1, "a"))
+
+    def test_prompt_lengths_are_heavy_tailed(self):
+        workload = ShareGPTWorkload(seed=10)
+        tasks = workload.sample_tasks(300)
+        lengths = sorted(task.user_tokens for task in tasks)
+        p50 = lengths[len(lengths) // 2]
+        p95 = lengths[int(len(lengths) * 0.95)]
+        assert p95 > 2 * p50
