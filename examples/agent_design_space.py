@@ -15,7 +15,8 @@ import argparse
 
 from repro.agents import PAPER_AGENTS
 from repro.analysis import default_config, format_table
-from repro.core import DesignPoint, SingleRequestRunner, normalized_efficiency, pareto_frontier
+from repro.api import ArrivalSpec, ExperimentSpec, run_experiment
+from repro.core import DesignPoint, normalized_efficiency, pareto_frontier
 from repro.workloads import create_workload
 
 
@@ -27,15 +28,20 @@ def main() -> None:
     args = parser.parse_args()
 
     workload = create_workload(args.benchmark)
-    runner = SingleRequestRunner(model=args.model, seed=0)
 
     points: list[DesignPoint] = []
     for agent in PAPER_AGENTS:
         if not workload.supports_agent(agent):
             continue
-        result = runner.run(
-            agent, args.benchmark, config=default_config(args.benchmark), num_tasks=args.tasks
+        spec = ExperimentSpec(
+            agent=agent,
+            workload=args.benchmark,
+            model=args.model,
+            agent_config=default_config(args.benchmark),
+            arrival=ArrivalSpec(process="single", num_requests=args.tasks),
+            seed=0,
         )
+        result = run_experiment(spec).characterization
         points.append(
             DesignPoint(
                 label=agent,

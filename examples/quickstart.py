@@ -1,9 +1,11 @@
 """Quickstart: characterise one AI agent on one benchmark.
 
-Runs a ReAct agent on synthetic HotpotQA tasks through the simulated vLLM
-serving stack (one A100-40GB, Llama-3.1-8B) and prints the per-request cost
-profile the paper reports: LLM/tool invocations, latency breakdown, GPU
-utilization, token composition, and GPU energy.
+Declares an experiment with the unified API -- a frozen
+:class:`~repro.api.ExperimentSpec` run through
+:func:`~repro.api.run_experiment` -- and prints the per-request cost profile
+the paper reports: LLM/tool invocations, latency breakdown, GPU utilization,
+token composition, and GPU energy.  A second spec shows the same workload
+served open-loop on a multi-replica cluster.
 
 Run with::
 
@@ -14,13 +16,21 @@ from __future__ import annotations
 
 from repro.agents import AgentConfig
 from repro.analysis import format_table
-from repro.core import SingleRequestRunner
+from repro.api import ArrivalSpec, ExperimentSpec, run_experiment
 
 
 def main() -> None:
-    runner = SingleRequestRunner(model="8b", enable_prefix_caching=True, seed=0)
-    config = AgentConfig(max_iterations=7, num_few_shot=2)
-    result = runner.run("react", "hotpotqa", config=config, num_tasks=10)
+    # -- declarative experiment: what to run, not how to wire it ------------
+    spec = ExperimentSpec(
+        agent="react",
+        workload="hotpotqa",
+        model="8b",
+        enable_prefix_caching=True,
+        agent_config=AgentConfig(max_iterations=7, num_few_shot=2),
+        arrival=ArrivalSpec(process="single", num_requests=10),
+        seed=0,
+    )
+    result = run_experiment(spec).characterization
 
     print("=== ReAct on HotpotQA (Llama-3.1-8B, 1x A100-40GB) ===")
     print(f"requests:            {result.num_requests}")
@@ -61,6 +71,20 @@ def main() -> None:
         for obs in result.observations
     ]
     print(format_table(rows))
+    print()
+
+    # -- the same spec, served open-loop on a 2-replica cluster --------------
+    serving_spec = spec.with_overrides(
+        replicas=2,
+        router="least-loaded",
+        scheduler="fcfs",
+        max_decode_chunk=8,
+        arrival=ArrivalSpec(process="poisson", qps=1.0, num_requests=16, task_pool_size=8),
+    )
+    serving = run_experiment(serving_spec)
+    print("=== Same agent served at 1 QPS on 2 replicas (least-loaded routing) ===")
+    for key, value in serving.summary().items():
+        print(f"{key:>22s}: {value if isinstance(value, str) else round(float(value), 3)}")
 
 
 if __name__ == "__main__":

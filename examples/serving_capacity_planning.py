@@ -1,13 +1,15 @@
 """Capacity planning for an agent serving cluster (miniature of Figs. 11-12).
 
 Sweeps offered load for a chatbot workload and a ReAct agent workload, with
-and without prefix caching, and reports sustainable throughput, tail latency,
-KV-cache memory pressure, and energy per query -- the quantities an operator
-would use to size a serving deployment.
+and without prefix caching -- and across replica counts -- and reports
+sustainable throughput, tail latency, KV-cache memory pressure, and energy
+per query -- the quantities an operator would use to size a serving
+deployment.  Experiments are declared with :class:`repro.api.ExperimentSpec`
+and driven through the unified experiment API.
 
 Run with::
 
-    python examples/serving_capacity_planning.py [--requests 40]
+    python examples/serving_capacity_planning.py [--requests 40] [--replicas 1 4]
 """
 
 from __future__ import annotations
@@ -16,12 +18,14 @@ import argparse
 
 from repro.agents import AgentConfig
 from repro.analysis import format_table
-from repro.serving import ServingConfig, sweep_qps
+from repro.api import ArrivalSpec, ExperimentSpec, run_sweep
 
 
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--requests", type=int, default=40, help="requests per load point")
+    parser.add_argument("--replicas", type=int, nargs="+", default=[1], help="replica counts to compare")
+    parser.add_argument("--router", default="least-loaded", help="round-robin | least-loaded | prefix-affinity")
     args = parser.parse_args()
 
     scenarios = {
@@ -31,31 +35,36 @@ def main() -> None:
 
     rows = []
     for label, (agent, benchmark, qps_values) in scenarios.items():
-        for caching in (True, False):
-            config = ServingConfig(
-                agent=agent,
-                benchmark=benchmark,
-                enable_prefix_caching=caching,
-                agent_config=AgentConfig(max_iterations=7),
-                max_decode_chunk=8,
-            )
-            sweep = sweep_qps(config, qps_values, num_requests=args.requests)
-            peak = sweep.peak_throughput()
-            busiest = max(sweep.results, key=lambda r: r.offered_qps)
-            rows.append(
-                {
-                    "workload": label,
-                    "prefix_caching": caching,
-                    "peak_qps": peak,
-                    "p95_at_peak_s": busiest.p95_latency,
-                    "kv_avg_gb": busiest.kv_average_bytes / 1e9,
-                    "kv_max_gb": busiest.kv_max_bytes / 1e9,
-                    "energy_wh_per_query": busiest.energy_wh_per_query,
-                    "preemptions": busiest.preemptions,
-                }
-            )
+        for replicas in args.replicas:
+            for caching in (True, False):
+                spec = ExperimentSpec(
+                    agent=agent,
+                    workload=benchmark,
+                    replicas=replicas,
+                    router=args.router,
+                    enable_prefix_caching=caching,
+                    agent_config=AgentConfig(max_iterations=7),
+                    arrival=ArrivalSpec(process="single", num_requests=args.requests),
+                    max_decode_chunk=8,
+                )
+                sweep = run_sweep(spec, qps_values)
+                peak = sweep.peak_throughput()
+                busiest = max(sweep.results, key=lambda r: r.offered_qps)
+                rows.append(
+                    {
+                        "workload": label,
+                        "replicas": replicas,
+                        "prefix_caching": caching,
+                        "peak_qps": peak,
+                        "p95_at_peak_s": busiest.p95_latency,
+                        "kv_avg_gb": busiest.kv_average_bytes / 1e9,
+                        "kv_max_gb": busiest.kv_max_bytes / 1e9,
+                        "energy_wh_per_query": busiest.energy_wh_per_query,
+                        "preemptions": busiest.preemptions,
+                    }
+                )
 
-    print(format_table(rows, "Serving capacity planning (Llama-3.1-8B, 1x A100-40GB)"))
+    print(format_table(rows, "Serving capacity planning (Llama-3.1-8B, A100-40GB replicas)"))
     print()
     print("Observations to look for (mirroring the paper):")
     print(" * chatbot serving sustains several times the QPS of agent serving,")

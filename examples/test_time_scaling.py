@@ -15,7 +15,7 @@ import argparse
 
 from repro.agents import AgentConfig
 from repro.analysis import format_table
-from repro.core import SingleRequestRunner
+from repro.api import ArrivalSpec, ExperimentSpec, run_experiment
 
 
 def main() -> None:
@@ -24,13 +24,23 @@ def main() -> None:
     parser.add_argument("--models", nargs="+", default=["8b", "70b"])
     args = parser.parse_args()
 
+    def characterize(agent: str, config: AgentConfig, model: str):
+        spec = ExperimentSpec(
+            agent=agent,
+            workload="hotpotqa",
+            model=model,
+            agent_config=config,
+            arrival=ArrivalSpec(process="single", num_requests=args.tasks),
+            seed=0,
+            max_decode_chunk=4,
+        )
+        return run_experiment(spec).characterization
+
     rows = []
     for model in args.models:
-        runner = SingleRequestRunner(model=model, seed=0, max_decode_chunk=4)
-
         for trials in (1, 2, 4, 8):
             config = AgentConfig(max_iterations=7, max_trials=trials)
-            result = runner.run("reflexion", "hotpotqa", config=config, num_tasks=args.tasks)
+            result = characterize("reflexion", config, model)
             rows.append(
                 {
                     "model": model,
@@ -45,7 +55,7 @@ def main() -> None:
 
         for children in (1, 4, 8, 16):
             config = AgentConfig(max_iterations=7, num_children=children, max_expansions=16)
-            result = runner.run("lats", "hotpotqa", config=config, num_tasks=args.tasks)
+            result = characterize("lats", config, model)
             rows.append(
                 {
                     "model": model,

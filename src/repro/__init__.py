@@ -12,20 +12,28 @@ organised bottom-up:
   and the HotpotQA / WebShop / MATH / HumanEval / ShareGPT benchmarks.
 * :mod:`repro.agents` -- CoT, ReAct, Reflexion, LATS, and LLMCompiler
   workflows plus the single-turn chatbot baseline.
-* :mod:`repro.serving` -- the agent serving system and load generator.
+* :mod:`repro.serving` -- the agent serving system: multi-replica clusters,
+  pluggable request routers, and the load generator.
 * :mod:`repro.core` -- the characterization framework (latency/GPU/token/KV/
   energy metrics, Pareto analysis, datacenter projections).
+* :mod:`repro.api` -- the unified experiment API: declarative
+  ``ExperimentSpec``, ``SystemBuilder`` assembly, and unified ``ResultSet``.
 * :mod:`repro.analysis` -- one function per paper figure and table.
 
 Quickstart::
 
-    from repro.core import SingleRequestRunner
+    from repro.api import ArrivalSpec, ExperimentSpec, run_experiment
 
-    runner = SingleRequestRunner(model="8b")
-    result = runner.run("react", "hotpotqa", num_tasks=10)
-    print(result.mean_latency, result.accuracy, result.mean_energy_wh)
+    spec = ExperimentSpec(
+        agent="react",
+        workload="hotpotqa",
+        replicas=2,
+        router="least-loaded",
+        arrival=ArrivalSpec(process="poisson", qps=1.0, num_requests=20),
+    )
+    print(run_experiment(spec).summary())
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = ["__version__"]

@@ -15,6 +15,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.agents import AgentConfig, PAPER_AGENTS
 from repro.analysis.reporting import format_table
+from repro.api import ArrivalSpec, ExperimentSpec, run_experiment, run_sweep
 from repro.core import (
     CharacterizationResult,
     DesignPoint,
@@ -24,7 +25,7 @@ from repro.core import (
     mean,
     percentile,
 )
-from repro.serving import ServingConfig, run_at_qps, sweep_qps
+from repro.serving import ServingConfig, run_at_qps
 from repro.workloads import AGENTIC_WORKLOADS, create_workload
 
 #: default design-space defaults per benchmark (iteration budget the paper uses).
@@ -405,6 +406,8 @@ def figure11(
     model: str = "8b",
     seed: int = 0,
     include_no_caching: bool = True,
+    replicas: int = 1,
+    router: str = "round-robin",
 ) -> Figure11Result:
     workload_specs = {
         "sharegpt": ("chatbot", "sharegpt"),
@@ -420,17 +423,19 @@ def figure11(
     curves = {}
     for label, (agent, benchmark) in workload_specs.items():
         for caching in caching_options:
-            config = ServingConfig(
+            spec = ExperimentSpec(
                 agent=agent,
-                benchmark=benchmark,
+                workload=benchmark,
                 model=model,
+                replicas=replicas,
+                router=router,
                 enable_prefix_caching=caching,
                 agent_config=default_config(benchmark) if benchmark != "sharegpt" else AgentConfig(),
+                arrival=ArrivalSpec(process="single", num_requests=num_requests),
                 seed=seed,
+                max_decode_chunk=4,
             )
-            curves[(label, caching)] = sweep_qps(
-                config, qps_grid[label], num_requests=num_requests
-            )
+            curves[(label, caching)] = run_sweep(spec, qps_grid[label])
     return Figure11Result(curves=curves)
 
 
@@ -613,13 +618,21 @@ def _run_sweep(
     seed: int,
     base_overrides: Optional[Dict[str, int]] = None,
 ) -> SweepResult:
-    runner = SingleRequestRunner(model=model, enable_prefix_caching=True, seed=seed)
     points: List[DesignPoint] = []
     for value in values:
         overrides = dict(base_overrides or {})
         overrides[parameter] = value
         config = default_config(benchmark, **overrides)
-        result = runner.run(agent, benchmark, config=config, num_tasks=num_tasks)
+        spec = ExperimentSpec(
+            agent=agent,
+            workload=benchmark,
+            model=model,
+            enable_prefix_caching=True,
+            agent_config=config,
+            arrival=ArrivalSpec(process="single", num_requests=num_tasks),
+            seed=seed,
+        )
+        result = run_experiment(spec).characterization
         points.append(
             DesignPoint(
                 label=f"{agent}-{parameter}={value}",

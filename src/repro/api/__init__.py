@@ -1,0 +1,56 @@
+"""Unified experiment API: the single front door for every experiment.
+
+Declare *what* to run with a frozen :class:`ExperimentSpec` (model, replica
+count, scheduler and router policies, agent, workload, arrival process, seed,
+measurement window), let :class:`SystemBuilder` own *how* it is assembled,
+and drive it with :func:`run_experiment` / :func:`run_sweep`, which return a
+unified :class:`ResultSet`.
+
+Quickstart::
+
+    from repro.api import ArrivalSpec, ExperimentSpec, run_experiment
+
+    spec = ExperimentSpec(
+        agent="react",
+        workload="hotpotqa",
+        replicas=4,
+        scheduler="sjf-by-predicted-decode",
+        router="prefix-affinity",
+        arrival=ArrivalSpec(process="poisson", qps=2.0, num_requests=60),
+    )
+    result = run_experiment(spec)
+    print(result.summary())
+
+The legacy entry points (``SingleRequestRunner``, ``AgentServer``,
+``run_at_qps``, ``sweep_qps``) remain as thin compatibility shims over this
+layer and reproduce their historical results bit-for-bit.
+"""
+
+from repro.api.builder import System, SystemBuilder
+from repro.api.results import ResultSet
+from repro.api.runners import (
+    ServingDriver,
+    compat_serving_config,
+    run_experiment,
+    run_sweep,
+)
+from repro.api.spec import (
+    ARRIVAL_PROCESSES,
+    ArrivalSpec,
+    ExperimentSpec,
+    MeasurementSpec,
+)
+
+__all__ = [
+    "ARRIVAL_PROCESSES",
+    "ArrivalSpec",
+    "ExperimentSpec",
+    "MeasurementSpec",
+    "ResultSet",
+    "ServingDriver",
+    "System",
+    "SystemBuilder",
+    "compat_serving_config",
+    "run_experiment",
+    "run_sweep",
+]

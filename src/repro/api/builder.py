@@ -1,0 +1,108 @@
+"""System assembly: one place that turns a spec into runnable machinery.
+
+:class:`SystemBuilder` owns every wiring decision the legacy entry points
+(``SingleRequestRunner._build``, ``AgentServer.__init__``, ``run_at_qps``)
+used to duplicate: environment creation, engine-cluster construction, client
+binding, workload instantiation, toolset assembly, and agent creation with
+the experiment-scoped random streams.  The stream namespaces intentionally
+match the legacy ones (``runner/...`` for single-request characterization,
+``serving/...`` for serving runs) so a one-replica FCFS spec reproduces the
+legacy results bit-for-bit at the same seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.agents import create_agent
+from repro.agents.base import BaseAgent
+from repro.api.spec import ExperimentSpec
+from repro.llm import EngineConfig, LLMClient, SchedulerConfig
+from repro.llm.models import get_model
+from repro.serving.cluster import Cluster
+from repro.sim import Environment, RandomStream
+from repro.tools.base import ToolSet
+from repro.workloads import create_workload
+from repro.workloads.base import Workload
+
+
+@dataclass
+class System:
+    """Fully assembled experiment machinery, ready to be driven."""
+
+    spec: ExperimentSpec
+    env: Environment
+    cluster: Cluster
+    client: LLMClient
+    workload: Workload
+    stream: RandomStream
+
+    def build_toolset(self) -> Optional[ToolSet]:
+        """Fresh toolset bound to this system (``None`` for tool-less agents)."""
+        if not self.spec.needs_tools:
+            return None
+        return self.workload.build_toolset(self.env, self.client.tokenizer, self.client)
+
+    def create_agent(
+        self,
+        seed_stream: RandomStream,
+        toolset: Optional[ToolSet] = None,
+        build_toolset: bool = True,
+    ) -> BaseAgent:
+        """Instantiate the spec's agent bound to this system."""
+        if toolset is None and build_toolset:
+            toolset = self.build_toolset()
+        return create_agent(
+            self.spec.agent,
+            env=self.env,
+            client=self.client,
+            workload=self.workload,
+            toolset=toolset,
+            config=self.spec.agent_config,
+            seed_stream=seed_stream,
+        )
+
+
+class SystemBuilder:
+    """Builds a :class:`System` from an :class:`ExperimentSpec`."""
+
+    def __init__(self, spec: ExperimentSpec):
+        self.spec = spec
+
+    def engine_config(self) -> EngineConfig:
+        """Per-replica engine configuration derived from the spec."""
+        return EngineConfig(
+            model=get_model(self.spec.model),
+            enable_prefix_caching=self.spec.enable_prefix_caching,
+            scheduler=SchedulerConfig(policy=self.spec.scheduler),
+            max_decode_chunk=self.spec.max_decode_chunk,
+        )
+
+    def stream_name(self) -> str:
+        """Experiment-scoped random-stream namespace (legacy-compatible)."""
+        if self.spec.arrival.process == "single":
+            return f"runner/{self.spec.agent}/{self.spec.workload}"
+        return f"serving/{self.spec.agent}/{self.spec.workload}"
+
+    def build(self) -> System:
+        """Assemble environment, cluster, client, workload, and streams."""
+        spec = self.spec
+        env = Environment()
+        cluster = Cluster(
+            env,
+            self.engine_config(),
+            num_replicas=spec.replicas,
+            router=spec.router,
+        )
+        client = LLMClient(env, cluster)
+        workload = create_workload(spec.workload, seed=spec.seed)
+        stream = RandomStream(spec.seed, self.stream_name())
+        return System(
+            spec=spec,
+            env=env,
+            cluster=cluster,
+            client=client,
+            workload=workload,
+            stream=stream,
+        )

@@ -1,0 +1,120 @@
+"""Unified result interface over characterization and serving outcomes.
+
+The legacy entry points returned two unrelated result types --
+:class:`~repro.core.runner.CharacterizationResult` (single-request
+characterization) and :class:`~repro.serving.server.ServingResult` (serving
+runs).  :class:`ResultSet` wraps whichever one an experiment produced and
+exposes the shared metric vocabulary (request counts, latency distribution,
+accuracy, throughput, energy) uniformly, while keeping the wrapped object
+reachable through :attr:`raw` for mode-specific detail (GPU breakdowns,
+KV-memory stats, admission delays, ...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from repro.api.spec import ExperimentSpec
+from repro.core.metrics import LatencyStats, mean
+from repro.core.runner import CharacterizationResult
+
+
+@dataclass
+class ResultSet:
+    """Outcome of one :func:`~repro.api.run_experiment` call."""
+
+    spec: ExperimentSpec
+    characterization: Optional[CharacterizationResult] = None
+    serving: Optional[Any] = None  # ServingResult (typed loosely to avoid cycles)
+
+    def __post_init__(self) -> None:
+        if (self.characterization is None) == (self.serving is None):
+            raise ValueError(
+                "ResultSet wraps exactly one of characterization or serving"
+            )
+
+    # -- shape ----------------------------------------------------------------
+    @property
+    def kind(self) -> str:
+        return "characterization" if self.characterization is not None else "serving"
+
+    @property
+    def raw(self) -> Any:
+        """The wrapped mode-specific result object."""
+        return self.characterization if self.characterization is not None else self.serving
+
+    # -- unified metrics -------------------------------------------------------
+    @property
+    def num_requests(self) -> int:
+        if self.characterization is not None:
+            return self.characterization.num_requests
+        return self.serving.num_requests
+
+    @property
+    def num_completed(self) -> int:
+        if self.characterization is not None:
+            return self.characterization.num_requests
+        return self.serving.num_completed
+
+    @property
+    def latencies(self) -> List[float]:
+        return self.raw.latencies
+
+    @property
+    def latency_stats(self) -> LatencyStats:
+        return LatencyStats.from_values(self.latencies)
+
+    @property
+    def mean_latency(self) -> float:
+        return mean(self.latencies)
+
+    @property
+    def p95_latency(self) -> float:
+        return self.latency_stats.p95
+
+    @property
+    def accuracy(self) -> float:
+        return self.raw.accuracy
+
+    @property
+    def duration(self) -> float:
+        """Wall-clock (simulated) span of the measured window."""
+        if self.characterization is not None:
+            return sum(self.latencies)
+        return self.serving.duration
+
+    @property
+    def throughput_qps(self) -> float:
+        duration = self.duration
+        if duration <= 0:
+            return 0.0
+        return self.num_completed / duration
+
+    @property
+    def energy_wh(self) -> float:
+        if self.characterization is not None:
+            return sum(obs.energy_wh for obs in self.characterization.observations)
+        return self.serving.energy_wh
+
+    @property
+    def energy_wh_per_query(self) -> float:
+        if self.num_completed == 0:
+            return 0.0
+        return self.energy_wh / self.num_completed
+
+    # -- reporting -------------------------------------------------------------
+    def summary(self) -> Dict[str, Any]:
+        """Flat metric dict, convenient for tables and JSON dumps."""
+        stats = self.latency_stats
+        return {
+            "kind": self.kind,
+            "num_requests": self.num_requests,
+            "num_completed": self.num_completed,
+            "mean_latency_s": self.mean_latency,
+            "p50_latency_s": stats.p50,
+            "p95_latency_s": stats.p95,
+            "accuracy": self.accuracy,
+            "throughput_qps": self.throughput_qps,
+            "energy_wh_per_query": self.energy_wh_per_query,
+        }

@@ -1,0 +1,329 @@
+"""Experiment runners: the canonical characterization and serving loops.
+
+``run_experiment`` is the single entry point: it assembles a
+:class:`~repro.api.builder.System` from the spec and drives it according to
+the spec's arrival process:
+
+* ``single``     -> one-request-at-a-time characterization (paper IV-A/IV-B),
+* ``poisson`` / ``uniform`` -> open-loop serving (paper IV-C, Fig. 10/11),
+* ``sequential`` -> closed-loop sequential serving baseline.
+
+``run_sweep`` repeats an open-loop experiment across offered loads and
+returns the tail-latency-vs-QPS curve (paper Fig. 11).
+
+The legacy entry points (``SingleRequestRunner``, ``AgentServer``,
+``run_at_qps``, ``sweep_qps``) are compatibility shims over these loops; the
+loops preserve the legacy random-stream labelling (including the historical
+worker-numbering behaviour) so one-replica FCFS specs reproduce legacy
+results bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional, Sequence, Tuple
+
+from repro.agents import AgentRunResult
+from repro.api.builder import System, SystemBuilder
+from repro.api.results import ResultSet
+from repro.api.spec import ExperimentSpec
+from repro.core.metrics import GpuRuntimeBreakdown
+from repro.core.runner import CharacterizationResult, RequestObservation
+from repro.serving.loadgen import ArrivalPlan, poisson_plan, sequential_plan, uniform_plan
+from repro.serving.server import ServingConfig, ServingResult
+from repro.serving.sweep import QpsSweepResult
+from repro.workloads.base import Task
+
+
+def compat_serving_config(spec: ExperimentSpec) -> ServingConfig:
+    """Legacy :class:`ServingConfig` equivalent of ``spec`` (for result objects)."""
+    return ServingConfig(
+        agent=spec.agent,
+        benchmark=spec.workload,
+        model=spec.model,
+        enable_prefix_caching=spec.enable_prefix_caching,
+        agent_config=spec.agent_config,
+        seed=spec.seed,
+        max_decode_chunk=spec.max_decode_chunk,
+        max_concurrency=spec.max_concurrency,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Characterization (arrival process: "single")
+# ---------------------------------------------------------------------------
+
+
+def _run_characterization(
+    system: System, tasks: Optional[List[Task]] = None
+) -> CharacterizationResult:
+    spec = system.spec
+    env, cluster = system.env, system.cluster
+    if tasks is None:
+        tasks = system.workload.sample_tasks(spec.arrival.num_requests)
+    agent = system.create_agent(seed_stream=system.stream)
+
+    outcome = CharacterizationResult(
+        agent=spec.agent,
+        benchmark=spec.workload,
+        model=cluster.model.name,
+        config=spec.agent_config,
+        prefix_caching=spec.enable_prefix_caching,
+    )
+    for task in tasks:
+        start_time = env.now
+        energy_before = cluster.energy_snapshot()
+        result: AgentRunResult = env.run(agent.run_process(task))
+        end_time = env.now
+        window = cluster.energy_since(energy_before)
+        gpu = GpuRuntimeBreakdown.from_engine_window(
+            cluster.runtime_breakdown(start_time, end_time)
+        )
+        kv_stats = cluster.kv_memory_stats(start_time, end_time)
+        outcome.observations.append(
+            RequestObservation(
+                result=result,
+                energy_wh=window.total_wh,
+                energy_joules_by_state=dict(window.joules_by_state),
+                gpu=gpu,
+                kv_average_bytes=kv_stats["average_bytes"],
+                kv_max_bytes=kv_stats["max_bytes"],
+            )
+        )
+    return outcome
+
+
+# ---------------------------------------------------------------------------
+# Serving (arrival processes: "poisson", "uniform", "sequential")
+# ---------------------------------------------------------------------------
+
+
+class ServingDriver:
+    """Drives one assembled system through an arrival plan.
+
+    Worker spawns are gated on ``spec.max_concurrency`` when it is set:
+    excess requests queue at the server door and their admission delay is
+    recorded.  With ``max_concurrency=None`` the driver is event-for-event
+    identical to the legacy ``AgentServer`` loop.
+    """
+
+    def __init__(self, system: System):
+        self.system = system
+        self.env = system.env
+        self.spec = system.spec
+        # Legacy worker counter: incremented when a worker process starts,
+        # decremented when it finishes, and used to label the worker's agent
+        # seed stream (kept for bit-for-bit legacy compatibility).
+        self._active_workers = 0
+        # Admission bookkeeping for the max_concurrency gate.
+        self._in_flight = 0
+        self._door_queue: Deque[Tuple[float, Task, List[AgentRunResult]]] = deque()
+        self._admission_delays: List[float] = []
+        # (time, energy snapshot) at the moment the warm-up window closed.
+        self._warmup_boundary: Optional[Tuple[float, object]] = None
+
+    # -- agent/worker assembly ------------------------------------------------
+    def _make_agent(self):
+        return self.system.create_agent(
+            seed_stream=self.system.stream.substream(
+                f"agent-worker/{self._active_workers}"
+            )
+        )
+
+    def _worker(self, task: Task, collected: List[AgentRunResult]):
+        self._active_workers += 1
+        agent = self._make_agent()
+        result = yield agent.run_process(task)
+        collected.append(result)
+        self._note_completion(collected)
+        self._active_workers -= 1
+        self._on_worker_done(collected)
+
+    def _note_completion(self, collected: List[AgentRunResult]) -> None:
+        """Mark the instant the warm-up window closes (for window-true metrics)."""
+        warmup = self.spec.measurement.warmup_requests
+        if warmup and len(collected) == warmup:
+            self._warmup_boundary = (self.env.now, self.system.cluster.energy_snapshot())
+
+    def _spawn(self, task: Task, collected: List[AgentRunResult]) -> None:
+        self._in_flight += 1
+        self.env.process(self._worker(task, collected))
+
+    def _admit(self, task: Task, collected: List[AgentRunResult]) -> None:
+        cap = self.spec.max_concurrency
+        if cap is not None and self._in_flight >= cap:
+            self._door_queue.append((self.env.now, task, collected))
+            return
+        self._admission_delays.append(0.0)
+        self._spawn(task, collected)
+
+    def _on_worker_done(self, collected: List[AgentRunResult]) -> None:
+        self._in_flight -= 1
+        cap = self.spec.max_concurrency
+        while self._door_queue and (cap is None or self._in_flight < cap):
+            enqueued_at, task, sink = self._door_queue.popleft()
+            self._admission_delays.append(self.env.now - enqueued_at)
+            self._spawn(task, sink)
+
+    def _request_generator(self, plan: ArrivalPlan, collected: List[AgentRunResult]):
+        previous = 0.0
+        for arrival, task in zip(plan.arrival_times, plan.tasks):
+            gap = arrival - previous
+            if gap > 0:
+                yield self.env.timeout(gap)
+            previous = arrival
+            self._admit(task, collected)
+
+    # -- open-loop serving ----------------------------------------------------
+    def serve(self, plan: ArrivalPlan) -> ServingResult:
+        """Serve an arrival plan to completion and collect serving metrics."""
+        system, env = self.system, self.env
+        collected: List[AgentRunResult] = []
+        self._admission_delays = []
+        self._warmup_boundary = None
+        energy_before = system.cluster.energy_snapshot()
+        start_time = env.now
+        generator = env.process(self._request_generator(plan, collected))
+        env.run(generator)
+        # Drain: run until every issued request has been answered (or no more
+        # simulation events remain, which would indicate a deadlocked worker).
+        while len(collected) < len(plan) and env.peek() != float("inf"):
+            env.step()
+        end_time = env.now
+        return self._build_result(
+            collected,
+            offered_qps=plan.offered_qps,
+            num_requests=len(plan),
+            energy_before=energy_before,
+            start_time=start_time,
+            end_time=end_time,
+        )
+
+    # -- closed-loop sequential serving ---------------------------------------
+    def serve_sequential(self, num_requests: int) -> ServingResult:
+        """Process requests strictly one at a time (the paper's baseline)."""
+        system, env = self.system, self.env
+        plan = sequential_plan(system.workload, num_requests)
+        collected: List[AgentRunResult] = []
+        self._admission_delays = []
+        self._warmup_boundary = None
+        energy_before = system.cluster.energy_snapshot()
+        start_time = env.now
+        for task in plan.tasks:
+            agent = self._make_agent()
+            result = env.run(agent.run_process(task))
+            collected.append(result)
+            self._note_completion(collected)
+        return self._build_result(
+            collected,
+            offered_qps=0.0,
+            num_requests=num_requests,
+            energy_before=energy_before,
+            start_time=start_time,
+            end_time=env.now,
+        )
+
+    # -- result assembly -------------------------------------------------------
+    def _build_result(
+        self,
+        collected: List[AgentRunResult],
+        offered_qps: float,
+        num_requests: int,
+        energy_before,
+        start_time: float,
+        end_time: float,
+    ) -> ServingResult:
+        system = self.system
+        # Warm-up trimming: the measured window opens when the warmup-th
+        # request completes.  Completions before it are dropped, the issued
+        # count shrinks to match (so completion-ratio consumers such as the
+        # peak-throughput knee gate compare like with like), and duration /
+        # energy / GPU / KV stats are taken from the boundary instead of the
+        # run start so derived rates stay warm-up-clean.
+        warmup = self.spec.measurement.warmup_requests
+        if warmup and self._warmup_boundary is not None:
+            start_time, energy_before = self._warmup_boundary
+        measured = collected[warmup:] if warmup else collected
+        measured_requests = max(num_requests - warmup, 0) if warmup else num_requests
+        # Admission delays are recorded in spawn (≈ arrival) order; trim the
+        # earliest entries so the door-queueing statistics cover the same
+        # warm-up-clean window as every other metric.
+        delays = self._admission_delays[warmup:] if warmup else self._admission_delays
+        duration = max(end_time - start_time, 1e-9)
+        window = system.cluster.energy_since(energy_before)
+        gpu = GpuRuntimeBreakdown.from_engine_window(
+            system.cluster.runtime_breakdown(start_time, end_time)
+        )
+        kv_stats = system.cluster.kv_memory_stats(start_time, end_time)
+        return ServingResult(
+            config=compat_serving_config(self.spec),
+            offered_qps=offered_qps,
+            num_requests=measured_requests,
+            results=measured,
+            duration=duration,
+            energy_wh=window.total_wh,
+            gpu=gpu,
+            kv_average_bytes=kv_stats["average_bytes"],
+            kv_max_bytes=kv_stats["max_bytes"],
+            preemptions=system.cluster.preemption_count,
+            prefix_cache_hit_rate=system.cluster.prefix_cache_hit_rate(),
+            num_replicas=system.cluster.num_replicas,
+            routed_counts=list(system.cluster.routed_counts),
+            admission_delays=list(delays),
+        )
+
+
+def _build_plan(system: System) -> ArrivalPlan:
+    arrival = system.spec.arrival
+    if arrival.process == "poisson":
+        return poisson_plan(
+            system.workload,
+            qps=arrival.qps,
+            num_requests=arrival.num_requests,
+            stream=system.stream.substream(f"plan/{arrival.qps}"),
+            task_pool_size=arrival.task_pool_size,
+        )
+    if arrival.process == "uniform":
+        return uniform_plan(
+            system.workload,
+            qps=arrival.qps,
+            num_requests=arrival.num_requests,
+            task_pool_size=arrival.task_pool_size,
+        )
+    raise ValueError(f"no open-loop plan for arrival process {arrival.process!r}")
+
+
+# ---------------------------------------------------------------------------
+# Public entry points
+# ---------------------------------------------------------------------------
+
+
+def run_experiment(
+    spec: ExperimentSpec, tasks: Optional[List[Task]] = None
+) -> ResultSet:
+    """Assemble and run one experiment; returns its unified :class:`ResultSet`.
+
+    ``tasks`` optionally overrides the workload sample for ``single``-arrival
+    (characterization) experiments.
+    """
+    system = SystemBuilder(spec).build()
+    process = spec.arrival.process
+    if process == "single":
+        return ResultSet(spec=spec, characterization=_run_characterization(system, tasks))
+    if tasks is not None:
+        raise ValueError("explicit tasks are only supported for single-arrival specs")
+    driver = ServingDriver(system)
+    if process == "sequential":
+        serving = driver.serve_sequential(spec.arrival.num_requests)
+    else:
+        serving = driver.serve(_build_plan(system))
+    return ResultSet(spec=spec, serving=serving)
+
+
+def run_sweep(spec: ExperimentSpec, qps_values: Sequence[float]) -> QpsSweepResult:
+    """Run ``spec`` across several offered loads (fresh system per load)."""
+    sweep = QpsSweepResult(config=compat_serving_config(spec))
+    for qps in qps_values:
+        outcome = run_experiment(spec.at_qps(qps))
+        sweep.results.append(outcome.serving)
+    return sweep

@@ -1,0 +1,167 @@
+"""Declarative experiment specification: the single front door's vocabulary.
+
+An :class:`ExperimentSpec` captures everything needed to reproduce an
+experiment -- model, replica count, scheduler and router policies, agent,
+workload, arrival process, seed, and measurement window -- as one frozen,
+validated, serialisable value.  Construction is the only place validation
+happens; everything downstream (:class:`~repro.api.builder.SystemBuilder`,
+the runners) can assume a well-formed spec.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field, replace
+from typing import Any, Dict, Optional, Tuple
+
+from repro.agents import AgentConfig
+from repro.agents.registry import AGENT_CLASSES, available_agents
+from repro.llm.models import get_model
+from repro.llm.scheduler import SCHEDULER_POLICIES, available_scheduler_policies
+from repro.serving.cluster import ROUTER_POLICIES, available_router_policies
+from repro.workloads import available_workloads
+
+#: Arrival processes understood by the experiment runners.
+ARRIVAL_PROCESSES: Tuple[str, ...] = ("single", "poisson", "uniform", "sequential")
+
+
+@dataclass(frozen=True)
+class ArrivalSpec:
+    """How requests reach the system.
+
+    * ``single`` -- one request at a time, back to back (the paper's
+      characterization setup; Section IV-A/IV-B).
+    * ``poisson`` -- open-loop Poisson arrivals at ``qps`` (Section IV-C).
+    * ``uniform`` -- open-loop deterministic arrivals at ``qps``.
+    * ``sequential`` -- closed-loop: all requests queued at t=0, served one
+      at a time (the paper's sequential serving baseline).
+    """
+
+    process: str = "single"
+    qps: Optional[float] = None
+    num_requests: int = 20
+    task_pool_size: int = 48
+
+    def __post_init__(self) -> None:
+        if self.process not in ARRIVAL_PROCESSES:
+            raise ValueError(
+                f"unknown arrival process {self.process!r}; known: {list(ARRIVAL_PROCESSES)}"
+            )
+        if self.num_requests < 1:
+            raise ValueError("num_requests must be >= 1")
+        if self.task_pool_size < 1:
+            raise ValueError("task_pool_size must be >= 1")
+        if self.process in ("poisson", "uniform"):
+            if self.qps is None or self.qps <= 0:
+                raise ValueError(f"{self.process} arrivals require qps > 0")
+        elif self.qps is not None:
+            raise ValueError(f"{self.process} arrivals do not take a qps")
+
+
+@dataclass(frozen=True)
+class MeasurementSpec:
+    """What part of the run contributes to reported metrics.
+
+    ``warmup_requests`` earliest-*completing* requests are excluded from the
+    serving metrics, mimicking the warm-up window real serving measurements
+    discard: the measured window (duration, energy, GPU runtime, KV stats)
+    opens at the instant the last warm-up request completes, and the
+    latency/accuracy distributions and request counts cover only the
+    remaining requests.  The default measures everything, which is what the
+    paper's single-engine experiments do.
+    """
+
+    warmup_requests: int = 0
+
+    def __post_init__(self) -> None:
+        if self.warmup_requests < 0:
+            raise ValueError("warmup_requests must be >= 0")
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One experiment, fully described.
+
+    ``ExperimentSpec(replicas=1, scheduler="fcfs")`` driven through
+    :func:`repro.api.run_experiment` reproduces the legacy
+    ``SingleRequestRunner`` / ``run_at_qps`` results bit-for-bit at the same
+    seed; raising ``replicas`` and switching ``scheduler`` / ``router``
+    policies explores the multi-replica design space on the same workloads.
+    """
+
+    agent: str = "react"
+    workload: str = "hotpotqa"
+    model: str = "8b"
+    replicas: int = 1
+    scheduler: str = "fcfs"
+    router: str = "round-robin"
+    enable_prefix_caching: bool = True
+    agent_config: AgentConfig = field(default_factory=AgentConfig)
+    arrival: ArrivalSpec = field(default_factory=ArrivalSpec)
+    measurement: MeasurementSpec = field(default_factory=MeasurementSpec)
+    seed: int = 0
+    max_decode_chunk: int = 1
+    max_concurrency: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.agent.lower() not in AGENT_CLASSES:
+            raise ValueError(f"unknown agent {self.agent!r}; known: {available_agents()}")
+        if self.workload.lower() not in available_workloads():
+            raise ValueError(
+                f"unknown workload {self.workload!r}; known: {available_workloads()}"
+            )
+        try:
+            get_model(self.model)
+        except KeyError as error:
+            raise ValueError(str(error)) from None
+        if self.replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        if self.scheduler.lower() not in SCHEDULER_POLICIES:
+            raise ValueError(
+                f"unknown scheduler policy {self.scheduler!r}; "
+                f"known: {available_scheduler_policies()}"
+            )
+        if self.router.lower() not in ROUTER_POLICIES:
+            raise ValueError(
+                f"unknown router policy {self.router!r}; "
+                f"known: {available_router_policies()}"
+            )
+        if self.max_decode_chunk < 1:
+            raise ValueError("max_decode_chunk must be >= 1")
+        if self.max_concurrency is not None and self.max_concurrency < 1:
+            raise ValueError("max_concurrency must be >= 1 (or None for unlimited)")
+        if self.measurement.warmup_requests >= self.arrival.num_requests:
+            raise ValueError(
+                "measurement.warmup_requests must be smaller than "
+                "arrival.num_requests (the measured window would be empty)"
+            )
+
+    # -- derived -------------------------------------------------------------
+    @property
+    def needs_tools(self) -> bool:
+        return self.agent.lower() not in ("cot", "chatbot")
+
+    def with_overrides(self, **overrides: Any) -> "ExperimentSpec":
+        """Copy with fields replaced (validation reruns on construction)."""
+        return replace(self, **overrides)
+
+    def at_qps(self, qps: float, **arrival_overrides: Any) -> "ExperimentSpec":
+        """Copy targeting open-loop Poisson arrivals at ``qps``."""
+        arrival = replace(self.arrival, process="poisson", qps=qps, **arrival_overrides)
+        return replace(self, arrival=arrival)
+
+    # -- serialisation --------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict form (JSON-ready); inverse of :meth:`from_dict`."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "ExperimentSpec":
+        """Rebuild a spec from :meth:`to_dict` output."""
+        data = dict(payload)
+        if isinstance(data.get("agent_config"), dict):
+            data["agent_config"] = AgentConfig(**data["agent_config"])
+        if isinstance(data.get("arrival"), dict):
+            data["arrival"] = ArrivalSpec(**data["arrival"])
+        if isinstance(data.get("measurement"), dict):
+            data["measurement"] = MeasurementSpec(**data["measurement"])
+        return cls(**data)

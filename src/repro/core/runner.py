@@ -1,19 +1,24 @@
 """Single-request characterization runner (paper Section IV-A/IV-B setup).
 
 The paper first characterises agents while serving one request at a time: the
-runner reproduces that setup by building a fresh serving engine per
-experiment, running the sampled tasks sequentially through the chosen agent,
-and recording, for every request, the agent trace plus the engine-side
-observations over the request's time window (GPU runtime breakdown, KV-cache
-memory, energy).
+runner reproduces that setup by running the sampled tasks sequentially
+through the chosen agent and recording, for every request, the agent trace
+plus the engine-side observations over the request's time window (GPU runtime
+breakdown, KV-cache memory, energy).
+
+:class:`SingleRequestRunner` is a compatibility shim over the unified
+experiment API (:mod:`repro.api`): it translates its arguments into an
+``ExperimentSpec`` with a ``single`` arrival process and delegates assembly
+and the measurement loop to ``run_experiment``, reproducing the historical
+results bit-for-bit at the same seed.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Dict, List, Optional
 
-from repro.agents import AgentConfig, AgentRunResult, create_agent
+from repro.agents import AgentConfig, AgentRunResult
 from repro.core.metrics import (
     GpuRuntimeBreakdown,
     LatencyBreakdown,
@@ -21,11 +26,7 @@ from repro.core.metrics import (
     TokenBreakdown,
     mean,
 )
-from repro.llm import EngineConfig, LLMClient, LLMEngine
 from repro.llm.energy import PowerState
-from repro.llm.models import get_model
-from repro.sim import Environment, RandomStream
-from repro.workloads import create_workload
 from repro.workloads.base import Task
 
 
@@ -149,7 +150,10 @@ class CharacterizationResult:
 
 
 class SingleRequestRunner:
-    """Runs (agent, benchmark, config) experiments one request at a time."""
+    """Runs (agent, benchmark, config) experiments one request at a time.
+
+    Compatibility shim over :func:`repro.api.run_experiment`.
+    """
 
     def __init__(
         self,
@@ -163,21 +167,6 @@ class SingleRequestRunner:
         self.seed = seed
         self.max_decode_chunk = max_decode_chunk
 
-    # -- engine/workload assembly ------------------------------------------------
-    def _build(self, benchmark: str):
-        env = Environment()
-        engine = LLMEngine(
-            env,
-            EngineConfig(
-                model=get_model(self.model_name),
-                enable_prefix_caching=self.enable_prefix_caching,
-                max_decode_chunk=self.max_decode_chunk,
-            ),
-        )
-        client = LLMClient(env, engine)
-        workload = create_workload(benchmark, seed=self.seed)
-        return env, engine, client, workload
-
     # -- experiment -----------------------------------------------------------------
     def run(
         self,
@@ -188,50 +177,17 @@ class SingleRequestRunner:
         tasks: Optional[List[Task]] = None,
     ) -> CharacterizationResult:
         """Characterise ``agent_name`` on ``benchmark`` over ``num_tasks`` requests."""
-        config = config or AgentConfig()
-        env, engine, client, workload = self._build(benchmark)
-        if tasks is None:
-            tasks = workload.sample_tasks(num_tasks)
+        from repro.api.runners import run_experiment
+        from repro.api.spec import ArrivalSpec, ExperimentSpec
 
-        needs_tools = agent_name.lower() not in ("cot", "chatbot")
-        toolset = (
-            workload.build_toolset(env, client.tokenizer, client) if needs_tools else None
-        )
-        agent = create_agent(
-            agent_name,
-            env=env,
-            client=client,
-            workload=workload,
-            toolset=toolset,
-            config=config,
-            seed_stream=RandomStream(self.seed, f"runner/{agent_name}/{benchmark}"),
-        )
-
-        outcome = CharacterizationResult(
+        spec = ExperimentSpec(
             agent=agent_name,
-            benchmark=benchmark,
-            model=engine.model.name,
-            config=config,
-            prefix_caching=self.enable_prefix_caching,
+            workload=benchmark,
+            model=self.model_name,
+            enable_prefix_caching=self.enable_prefix_caching,
+            agent_config=config or AgentConfig(),
+            arrival=ArrivalSpec(process="single", num_requests=num_tasks),
+            seed=self.seed,
+            max_decode_chunk=self.max_decode_chunk,
         )
-        for task in tasks:
-            start_time = env.now
-            energy_before = engine.energy.snapshot()
-            result: AgentRunResult = env.run(agent.run_process(task))
-            end_time = env.now
-            window = engine.energy.since(energy_before)
-            gpu = GpuRuntimeBreakdown.from_engine_window(
-                engine.runtime_breakdown(start_time, end_time)
-            )
-            kv_stats = engine.kv_memory_stats(start_time, end_time)
-            outcome.observations.append(
-                RequestObservation(
-                    result=result,
-                    energy_wh=window.total_wh,
-                    energy_joules_by_state=dict(window.joules_by_state),
-                    gpu=gpu,
-                    kv_average_bytes=kv_stats["average_bytes"],
-                    kv_max_bytes=kv_stats["max_bytes"],
-                )
-            )
-        return outcome
+        return run_experiment(spec, tasks=tasks).characterization

@@ -23,7 +23,16 @@ from repro.llm.tokenizer import SyntheticTokenizer, TokenSpan, Prompt, SegmentKi
 from repro.llm.request import LLMRequest, LLMResult, RequestState, SamplingParams
 from repro.llm.kvcache import BlockAllocator, KVCacheConfig
 from repro.llm.prefix_cache import PrefixCache
-from repro.llm.scheduler import Scheduler, SchedulerConfig, ScheduledStep, StepKind
+from repro.llm.scheduler import (
+    ScheduledStep,
+    Scheduler,
+    SchedulerConfig,
+    SchedulingPolicy,
+    StepKind,
+    available_scheduler_policies,
+    create_scheduler_policy,
+    register_scheduler_policy,
+)
 from repro.llm.engine import EngineConfig, EngineStepRecord, LLMEngine
 from repro.llm.client import LLMClient
 
@@ -52,10 +61,14 @@ __all__ = [
     "ScheduledStep",
     "Scheduler",
     "SchedulerConfig",
+    "SchedulingPolicy",
     "SegmentKind",
     "StepKind",
     "SyntheticTokenizer",
     "TokenSpan",
+    "available_scheduler_policies",
     "cluster_for_model",
+    "create_scheduler_policy",
     "get_model",
+    "register_scheduler_policy",
 ]

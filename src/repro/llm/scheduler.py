@@ -1,12 +1,14 @@
-"""FCFS continuous-batching scheduler (vLLM 0.6.x default policy).
+"""Continuous-batching scheduler with pluggable admission policies.
 
 The scheduler decides, before each engine step, whether the step is a
 *prefill* step (admitting waiting requests, which blocks decoding of already
 running requests -- the contention the paper highlights) or a *decode* step
-(one token for every running sequence).  Admission is first-come-first-served
-and bounded by a per-step token budget, a maximum batch size, and KV-cache
-capacity.  When the cache is exhausted mid-decode the most recently admitted
-request is preempted with recompute semantics.
+(one token for every running sequence).  Admission order is delegated to a
+:class:`SchedulingPolicy` selected by name through a registry
+(``fcfs`` | ``priority`` | ``sjf-by-predicted-decode``), and is bounded by a
+per-step token budget, a maximum batch size, and KV-cache capacity.  When the
+cache is exhausted mid-decode the most recently admitted request is preempted
+with recompute semantics.
 """
 
 from __future__ import annotations
@@ -14,10 +16,11 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Deque, List, Optional, Tuple
+from typing import Deque, Dict, List, Optional, Tuple, Type
 
 from repro.llm.prefix_cache import PrefixCache
 from repro.llm.request import LLMRequest, RequestState
+from repro.registry import PolicyRegistry
 
 
 class StepKind(str, Enum):
@@ -31,6 +34,109 @@ class SchedulerConfig:
 
     max_num_seqs: int = 256
     max_num_batched_tokens: int = 8192
+    # Admission-order policy; must name an entry in the scheduling-policy
+    # registry (``fcfs`` is vLLM 0.6.x's default behaviour).
+    policy: str = "fcfs"
+
+
+# ---------------------------------------------------------------------------
+# Admission-order policies
+# ---------------------------------------------------------------------------
+
+
+class SchedulingPolicy:
+    """Decides which waiting request is admitted next.
+
+    Policies are stateless selectors over the waiting queue: the scheduler
+    calls :meth:`select_index` repeatedly during one prefill pass, removing
+    the chosen request each time, so policies never mutate the queue
+    themselves.
+    """
+
+    name = "base"
+
+    def select_index(self, waiting: Deque[LLMRequest], now: float) -> int:
+        """Index (into ``waiting``) of the request to admit next."""
+        raise NotImplementedError
+
+
+class FCFSPolicy(SchedulingPolicy):
+    """First-come-first-served: always the head of the queue."""
+
+    name = "fcfs"
+
+    def select_index(self, waiting: Deque[LLMRequest], now: float) -> int:
+        return 0
+
+
+class PriorityPolicy(SchedulingPolicy):
+    """Highest ``metadata["priority"]`` first; FCFS among equal priorities.
+
+    Priorities are read from ``LLMRequest.metadata["priority"]``, which the
+    submitter (a client, workload, or admission layer) must set; the built-in
+    agents do not assign priorities yet, so without an assigning caller this
+    policy degenerates to FCFS (every request scores 0.0).
+    """
+
+    name = "priority"
+
+    def select_index(self, waiting: Deque[LLMRequest], now: float) -> int:
+        best_index = 0
+        best_priority = None
+        for index, request in enumerate(waiting):
+            priority = self._priority(request)
+            if best_priority is None or priority > best_priority:
+                best_index, best_priority = index, priority
+        return best_index
+
+    @staticmethod
+    def _priority(request: LLMRequest) -> float:
+        return float(request.metadata.get("priority", 0.0))
+
+
+class ShortestJobPolicy(SchedulingPolicy):
+    """Shortest predicted decode first (FCFS tie-break).
+
+    The simulator's behaviour oracle fixes each call's output length up
+    front, so ``sampling.effective_output_tokens`` doubles as a perfect
+    decode-length predictor -- the idealized upper bound for SJF schedulers
+    driven by learned output-length prediction.
+    """
+
+    name = "sjf-by-predicted-decode"
+
+    def select_index(self, waiting: Deque[LLMRequest], now: float) -> int:
+        best_index = 0
+        best_cost = None
+        for index, request in enumerate(waiting):
+            cost = request.sampling.effective_output_tokens
+            if best_cost is None or cost < best_cost:
+                best_index, best_cost = index, cost
+        return best_index
+
+
+SCHEDULER_POLICY_REGISTRY = PolicyRegistry("scheduler policy")
+#: name -> class mapping (keys are lower-case); kept for membership checks.
+SCHEDULER_POLICIES: Dict[str, Type[SchedulingPolicy]] = SCHEDULER_POLICY_REGISTRY.policies
+
+
+def register_scheduler_policy(policy_class: Type[SchedulingPolicy]) -> Type[SchedulingPolicy]:
+    """Register a policy class under its ``name`` (also usable as a decorator)."""
+    return SCHEDULER_POLICY_REGISTRY.register(policy_class)
+
+
+register_scheduler_policy(FCFSPolicy)
+register_scheduler_policy(PriorityPolicy)
+register_scheduler_policy(ShortestJobPolicy)
+
+
+def available_scheduler_policies() -> List[str]:
+    return SCHEDULER_POLICY_REGISTRY.available()
+
+
+def create_scheduler_policy(name: str) -> SchedulingPolicy:
+    """Instantiate a registered scheduling policy by name."""
+    return SCHEDULER_POLICY_REGISTRY.create(name)
 
 
 @dataclass
@@ -64,11 +170,12 @@ class ScheduledStep:
 
 
 class Scheduler:
-    """FCFS continuous batching over a shared prefix-aware KV cache."""
+    """Policy-driven continuous batching over a shared prefix-aware KV cache."""
 
     def __init__(self, config: SchedulerConfig, kv_cache: PrefixCache):
         self.config = config
         self.kv_cache = kv_cache
+        self.policy = create_scheduler_policy(config.policy)
         self.waiting: Deque[LLMRequest] = deque()
         self.running: List[LLMRequest] = []
         self.preemption_count: int = 0
@@ -106,7 +213,8 @@ class Scheduler:
         while self.waiting:
             if len(self.running) + len(prefills) >= self.config.max_num_seqs:
                 break
-            request = self.waiting[0]
+            index = self.policy.select_index(self.waiting, now)
+            request = self.waiting[index]
             cached_estimate = self.kv_cache.peek_cached_tokens(request.prompt_token_ids)
             new_tokens = max(1, request.num_prompt_tokens - cached_estimate)
             if prefills and new_tokens > token_budget:
@@ -117,7 +225,7 @@ class Scheduler:
                 # and nothing was admitted the request simply waits for blocks
                 # freed by future completions.
                 break
-            self.waiting.popleft()
+            del self.waiting[index]
             new_tokens = request.num_prompt_tokens - allocation.num_cached_tokens
             token_budget -= new_tokens
             request.state = RequestState.RUNNING

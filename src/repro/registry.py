@@ -1,0 +1,41 @@
+"""Case-insensitive name -> class registries for pluggable policies.
+
+Shared by the scheduler-policy registry (:mod:`repro.llm.scheduler`) and the
+router-policy registry (:mod:`repro.serving.cluster`); future policy families
+(admission control, autoscaling) should reuse it rather than growing another
+hand-rolled dict.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Type, TypeVar
+
+PolicyClass = TypeVar("PolicyClass", bound=type)
+
+
+class PolicyRegistry:
+    """Registers policy classes by their ``name`` attribute, case-insensitively."""
+
+    def __init__(self, kind: str):
+        self.kind = kind
+        self.policies: Dict[str, type] = {}
+
+    def register(self, policy_class: PolicyClass) -> PolicyClass:
+        """Register ``policy_class`` under its ``name`` (usable as a decorator)."""
+        self.policies[policy_class.name.lower()] = policy_class
+        return policy_class
+
+    def available(self) -> List[str]:
+        return sorted(self.policies)
+
+    def __contains__(self, name: str) -> bool:
+        return isinstance(name, str) and name.lower() in self.policies
+
+    def create(self, name: str):
+        """Instantiate a registered policy by (case-insensitive) name."""
+        key = name.lower()
+        if key not in self.policies:
+            raise ValueError(
+                f"unknown {self.kind} {name!r}; known: {self.available()}"
+            )
+        return self.policies[key]()

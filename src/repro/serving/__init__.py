@@ -1,5 +1,16 @@
-"""Agent serving system: workers, load generation, and QPS sweeps."""
+"""Agent serving system: clusters, routers, workers, load generation, sweeps."""
 
+from repro.serving.cluster import (
+    Cluster,
+    LeastLoadedRouter,
+    PrefixAffinityRouter,
+    ROUTER_POLICIES,
+    RoundRobinRouter,
+    RouterPolicy,
+    available_router_policies,
+    create_router_policy,
+    register_router_policy,
+)
 from repro.serving.loadgen import ArrivalPlan, poisson_plan, sequential_plan, uniform_plan
 from repro.serving.server import AgentServer, ServingConfig, ServingResult, run_at_qps
 from repro.serving.sweep import QpsSweepResult, sweep_qps
@@ -7,10 +18,19 @@ from repro.serving.sweep import QpsSweepResult, sweep_qps
 __all__ = [
     "AgentServer",
     "ArrivalPlan",
+    "Cluster",
+    "LeastLoadedRouter",
+    "PrefixAffinityRouter",
     "QpsSweepResult",
+    "ROUTER_POLICIES",
+    "RoundRobinRouter",
+    "RouterPolicy",
     "ServingConfig",
     "ServingResult",
+    "available_router_policies",
+    "create_router_policy",
     "poisson_plan",
+    "register_router_policy",
     "run_at_qps",
     "sequential_plan",
     "sweep_qps",

@@ -1,0 +1,253 @@
+"""Multi-replica engine cluster with pluggable request routing.
+
+A :class:`Cluster` runs N independent :class:`~repro.llm.engine.LLMEngine`
+replicas inside one simulation environment and routes every submitted LLM
+request to one of them through a :class:`RouterPolicy` (``round-robin`` |
+``least-loaded`` | ``prefix-affinity``).  The cluster duck-types the small
+engine surface :class:`~repro.llm.client.LLMClient` depends on (``submit``,
+``tokenizer``, ``model``), so agents and workers are oblivious to how many
+replicas serve them; with one replica and any router the cluster is
+behaviourally identical to a bare engine.
+
+Reporting methods aggregate the per-replica measurements (energy, runtime
+breakdown, KV memory, preemptions, prefix-cache hits) so serving experiments
+read cluster-level metrics exactly like single-engine ones.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Type
+
+from repro.llm.energy import PowerState
+from repro.llm.engine import EngineConfig, LLMEngine
+from repro.llm.request import LLMRequest
+from repro.registry import PolicyRegistry
+from repro.sim import Environment, Event
+
+
+# ---------------------------------------------------------------------------
+# Routing policies
+# ---------------------------------------------------------------------------
+
+
+class RouterPolicy:
+    """Picks the replica index that serves the next request."""
+
+    name = "base"
+
+    def select(self, request: LLMRequest, replicas: Sequence[LLMEngine]) -> int:
+        raise NotImplementedError
+
+
+class RoundRobinRouter(RouterPolicy):
+    """Cycle through replicas in submission order."""
+
+    name = "round-robin"
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def select(self, request: LLMRequest, replicas: Sequence[LLMEngine]) -> int:
+        index = self._next % len(replicas)
+        self._next += 1
+        return index
+
+
+class LeastLoadedRouter(RouterPolicy):
+    """Replica with the fewest in-flight requests (lowest index wins ties)."""
+
+    name = "least-loaded"
+
+    def select(self, request: LLMRequest, replicas: Sequence[LLMEngine]) -> int:
+        loads = [engine.num_pending_requests for engine in replicas]
+        return loads.index(min(loads))
+
+
+class PrefixAffinityRouter(RouterPolicy):
+    """Cache-aware routing: co-locate shared prefixes, spill on overload.
+
+    Requests whose prompts start with the same leading tokens (the shared
+    system/few-shot prefix) prefer the same replica, concentrating
+    prefix-cache hits instead of diluting the prefix across every replica's
+    cache.  Affinity yields to load: when the preferred replica carries
+    ``spill_threshold`` more in-flight requests than the least-loaded one,
+    the request spills there instead, so a single hot prefix still scales
+    across the cluster.
+    """
+
+    name = "prefix-affinity"
+
+    def __init__(self, prefix_tokens: int = 64, spill_threshold: int = 4) -> None:
+        self.prefix_tokens = prefix_tokens
+        self.spill_threshold = spill_threshold
+
+    def select(self, request: LLMRequest, replicas: Sequence[LLMEngine]) -> int:
+        digest = 0
+        for token in request.prompt_token_ids[: self.prefix_tokens]:
+            digest = (digest * 1000003 + token) % (2**61 - 1)
+        preferred = digest % len(replicas)
+        loads = [engine.num_pending_requests for engine in replicas]
+        least = loads.index(min(loads))
+        if loads[preferred] - loads[least] > self.spill_threshold:
+            return least
+        return preferred
+
+
+ROUTER_POLICY_REGISTRY = PolicyRegistry("router policy")
+#: name -> class mapping (keys are lower-case); kept for membership checks.
+ROUTER_POLICIES: Dict[str, Type[RouterPolicy]] = ROUTER_POLICY_REGISTRY.policies
+
+
+def register_router_policy(router_class: Type[RouterPolicy]) -> Type[RouterPolicy]:
+    """Register a router class under its ``name`` (also usable as a decorator)."""
+    return ROUTER_POLICY_REGISTRY.register(router_class)
+
+
+register_router_policy(RoundRobinRouter)
+register_router_policy(LeastLoadedRouter)
+register_router_policy(PrefixAffinityRouter)
+
+
+def available_router_policies() -> List[str]:
+    return ROUTER_POLICY_REGISTRY.available()
+
+
+def create_router_policy(name: str) -> RouterPolicy:
+    """Instantiate a registered router policy by name."""
+    return ROUTER_POLICY_REGISTRY.create(name)
+
+
+# ---------------------------------------------------------------------------
+# Cluster
+# ---------------------------------------------------------------------------
+
+
+class ClusterEnergySnapshot:
+    """Per-replica energy snapshots taken at one instant."""
+
+    def __init__(self, snapshots: List[object]):
+        self.snapshots = snapshots
+
+
+class ClusterEnergyWindow:
+    """Aggregated energy spent across all replicas since a snapshot."""
+
+    def __init__(self, windows: List[object]):
+        self.windows = windows
+
+    @property
+    def total_wh(self) -> float:
+        return sum(window.total_wh for window in self.windows)
+
+    @property
+    def joules_by_state(self) -> Dict[PowerState, float]:
+        combined: Dict[PowerState, float] = {}
+        for window in self.windows:
+            for state, joules in window.joules_by_state.items():
+                combined[state] = combined.get(state, 0.0) + joules
+        return combined
+
+
+class Cluster:
+    """N engine replicas behind one routing policy.
+
+    Exposes the same ``submit``/``tokenizer``/``model`` surface as a single
+    :class:`LLMEngine`, so an :class:`~repro.llm.client.LLMClient` can be
+    bound to a cluster transparently.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        config: EngineConfig,
+        num_replicas: int = 1,
+        router: "RouterPolicy | str" = "round-robin",
+    ):
+        if num_replicas < 1:
+            raise ValueError("num_replicas must be >= 1")
+        self.env = env
+        self.config = config
+        self.replicas: List[LLMEngine] = [
+            LLMEngine(env, config) for _ in range(num_replicas)
+        ]
+        self.router: RouterPolicy = (
+            create_router_policy(router) if isinstance(router, str) else router
+        )
+        self.routed_counts: List[int] = [0] * num_replicas
+
+    # -- engine-compatible surface ------------------------------------------
+    @property
+    def num_replicas(self) -> int:
+        return len(self.replicas)
+
+    @property
+    def model(self):
+        return self.replicas[0].model
+
+    @property
+    def tokenizer(self):
+        return self.replicas[0].tokenizer
+
+    def submit(self, request: LLMRequest) -> Event:
+        """Route ``request`` to a replica; returns its completion event."""
+        index = self.router.select(request, self.replicas)
+        if not 0 <= index < len(self.replicas):
+            raise ValueError(
+                f"router {self.router.name!r} picked invalid replica {index}"
+            )
+        self.routed_counts[index] += 1
+        request.metadata.setdefault("replica", index)
+        return self.replicas[index].submit(request)
+
+    @property
+    def num_pending_requests(self) -> int:
+        return sum(engine.num_pending_requests for engine in self.replicas)
+
+    # -- aggregated reporting -------------------------------------------------
+    def energy_snapshot(self) -> ClusterEnergySnapshot:
+        return ClusterEnergySnapshot([engine.energy.snapshot() for engine in self.replicas])
+
+    def energy_since(self, snapshot: ClusterEnergySnapshot) -> ClusterEnergyWindow:
+        return ClusterEnergyWindow(
+            [
+                engine.energy.since(engine_snapshot)
+                for engine, engine_snapshot in zip(self.replicas, snapshot.snapshots)
+            ]
+        )
+
+    def runtime_breakdown(self, start: float = 0.0, end: Optional[float] = None) -> Dict[str, float]:
+        """Summed seconds per step kind across replicas within ``[start, end]``."""
+        combined: Dict[str, float] = {"prefill": 0.0, "decode": 0.0, "idle": 0.0}
+        for engine in self.replicas:
+            for kind, seconds in engine.runtime_breakdown(start, end).items():
+                combined[kind] = combined.get(kind, 0.0) + seconds
+        return combined
+
+    def kv_memory_stats(self, start: float = 0.0, end: Optional[float] = None) -> Dict[str, float]:
+        """Cluster-wide KV footprint: per-replica averages and maxima summed."""
+        average = 0.0
+        maximum = 0.0
+        for engine in self.replicas:
+            stats = engine.kv_memory_stats(start, end)
+            average += stats["average_bytes"]
+            maximum += stats["max_bytes"]
+        return {"average_bytes": average, "max_bytes": maximum}
+
+    @property
+    def preemption_count(self) -> int:
+        return sum(engine.scheduler.preemption_count for engine in self.replicas)
+
+    def prefix_cache_hit_rate(self) -> float:
+        """Token-weighted hit rate across every replica's prefix cache."""
+        hits = sum(engine.kv_cache.cached_token_hits for engine in self.replicas)
+        seen = sum(engine.kv_cache.prompt_tokens_seen for engine in self.replicas)
+        if seen == 0:
+            return 0.0
+        return hits / seen
+
+    @property
+    def completed_requests(self) -> List[LLMRequest]:
+        finished: List[LLMRequest] = []
+        for engine in self.replicas:
+            finished.extend(engine.completed_requests)
+        return finished

@@ -1,25 +1,25 @@
-"""The agent serving system (paper Fig. 10).
+"""The agent serving system (paper Fig. 10) -- legacy-compatible front end.
 
-A server entry point receives user requests, spawns an asynchronous agent
-worker per request, and lets the workers' LLM calls batch at the shared vLLM
-backend (continuous batching + FCFS scheduling).  Tool calls run inside each
-worker.  The system reports the end-to-end latency distribution, sustained
-throughput, KV-cache memory, and GPU energy over the measurement window.
+Historically this module owned the whole serving path; it is now a thin
+compatibility shim over the unified experiment API (:mod:`repro.api`): a
+:class:`ServingConfig` is translated into an
+:class:`~repro.api.spec.ExperimentSpec`, assembly is delegated to
+:class:`~repro.api.builder.SystemBuilder`, and the serving loop lives in
+:class:`~repro.api.runners.ServingDriver`.  Signatures and results are
+unchanged -- a one-replica FCFS run through the new layer reproduces the
+historical metrics bit-for-bit -- and ``ServingConfig.max_concurrency`` is
+now enforced: excess requests queue at the server door and their admission
+delay is reported via :attr:`ServingResult.admission_delays`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import List, Optional
 
-from repro.agents import AgentConfig, AgentRunResult, create_agent
-from repro.core.metrics import GpuRuntimeBreakdown, LatencyStats, mean
-from repro.llm import EngineConfig, LLMClient, LLMEngine
-from repro.llm.models import get_model
-from repro.serving.loadgen import ArrivalPlan, poisson_plan, sequential_plan
-from repro.sim import Environment, RandomStream
-from repro.workloads import create_workload
-from repro.workloads.base import Workload
+from repro.agents import AgentConfig, AgentRunResult
+from repro.core.metrics import GpuRuntimeBreakdown, LatencyStats, mean, percentile
+from repro.serving.loadgen import ArrivalPlan
 
 
 @dataclass(frozen=True)
@@ -34,6 +34,8 @@ class ServingConfig:
     seed: int = 0
     # Simulation-speed knob: how many decode tokens one engine step may batch.
     max_decode_chunk: int = 4
+    # Maximum agent workers running at once; excess requests queue at the
+    # server door (None = unlimited).
     max_concurrency: Optional[int] = None
 
 
@@ -52,6 +54,12 @@ class ServingResult:
     kv_max_bytes: float = 0.0
     preemptions: int = 0
     prefix_cache_hit_rate: float = 0.0
+    num_replicas: int = 1
+    # Requests routed to each replica, by replica index.
+    routed_counts: List[int] = field(default_factory=list)
+    # Per-request delay between arrival and worker admission (all zero unless
+    # max_concurrency gated the door).
+    admission_delays: List[float] = field(default_factory=list)
 
     @property
     def num_completed(self) -> int:
@@ -91,124 +99,75 @@ class ServingResult:
             return 0.0
         return mean([1.0 if result.answer_correct else 0.0 for result in self.results])
 
+    # -- admission queueing (max_concurrency) --------------------------------
+    @property
+    def num_queued(self) -> int:
+        """Requests that waited at the door before a worker slot opened."""
+        return sum(1 for delay in self.admission_delays if delay > 0)
+
+    @property
+    def mean_admission_delay(self) -> float:
+        return mean(self.admission_delays)
+
+    @property
+    def p95_admission_delay(self) -> float:
+        if not self.admission_delays:
+            return 0.0
+        return percentile(self.admission_delays, 95.0)
+
+
+def _spec_from_config(config: ServingConfig, arrival) -> "object":
+    """Translate a legacy ServingConfig (+ arrival) into an ExperimentSpec."""
+    from repro.api.spec import ExperimentSpec
+
+    return ExperimentSpec(
+        agent=config.agent,
+        workload=config.benchmark,
+        model=config.model,
+        enable_prefix_caching=config.enable_prefix_caching,
+        agent_config=config.agent_config,
+        arrival=arrival,
+        seed=config.seed,
+        max_decode_chunk=config.max_decode_chunk,
+        max_concurrency=config.max_concurrency,
+    )
+
 
 class AgentServer:
-    """Serving system binding a workload, an agent workflow, and an engine."""
+    """Serving system binding a workload, an agent workflow, and an engine.
+
+    Compatibility shim: assembly and the serving loop are delegated to
+    :mod:`repro.api`; the historical attributes (``env``, ``engine``,
+    ``client``, ``workload``, ``stream``) remain available.
+    """
 
     def __init__(self, config: ServingConfig):
+        from repro.api.builder import SystemBuilder
+        from repro.api.runners import ServingDriver
+        from repro.api.spec import ArrivalSpec
+
         self.config = config
-        self.env = Environment()
-        self.engine = LLMEngine(
-            self.env,
-            EngineConfig(
-                model=get_model(config.model),
-                enable_prefix_caching=config.enable_prefix_caching,
-                max_decode_chunk=config.max_decode_chunk,
-            ),
+        spec = _spec_from_config(
+            config, arrival=ArrivalSpec(process="sequential", num_requests=1)
         )
-        self.client = LLMClient(self.env, self.engine)
-        self.workload: Workload = create_workload(config.benchmark, seed=config.seed)
-        self.stream = RandomStream(config.seed, f"serving/{config.agent}/{config.benchmark}")
-        self._needs_tools = config.agent.lower() not in ("cot", "chatbot")
-        self._active_workers = 0
-
-    # -- worker ----------------------------------------------------------------
-    def _make_agent(self):
-        toolset = (
-            self.workload.build_toolset(self.env, self.client.tokenizer, self.client)
-            if self._needs_tools
-            else None
-        )
-        return create_agent(
-            self.config.agent,
-            env=self.env,
-            client=self.client,
-            workload=self.workload,
-            toolset=toolset,
-            config=self.config.agent_config,
-            seed_stream=self.stream.substream(f"agent-worker/{self._active_workers}"),
-        )
-
-    def _worker(self, task, collected: List[AgentRunResult]):
-        self._active_workers += 1
-        agent = self._make_agent()
-        result = yield agent.run_process(task)
-        collected.append(result)
-        self._active_workers -= 1
-
-    def _request_generator(self, plan: ArrivalPlan, collected: List[AgentRunResult]):
-        previous = 0.0
-        for arrival, task in zip(plan.arrival_times, plan.tasks):
-            gap = arrival - previous
-            if gap > 0:
-                yield self.env.timeout(gap)
-            previous = arrival
-            self.env.process(self._worker(task, collected))
+        self._system = SystemBuilder(spec).build()
+        self._driver = ServingDriver(self._system)
+        self.env = self._system.env
+        self.cluster = self._system.cluster
+        self.engine = self.cluster.replicas[0]
+        self.client = self._system.client
+        self.workload = self._system.workload
+        self.stream = self._system.stream
 
     # -- open-loop serving -------------------------------------------------------
     def serve(self, plan: ArrivalPlan) -> ServingResult:
         """Serve an arrival plan to completion and collect serving metrics."""
-        collected: List[AgentRunResult] = []
-        energy_before = self.engine.energy.snapshot()
-        start_time = self.env.now
-        generator = self.env.process(self._request_generator(plan, collected))
-        self.env.run(generator)
-        # Drain: run until every issued request has been answered (or no more
-        # simulation events remain, which would indicate a deadlocked worker).
-        while len(collected) < len(plan) and self.env.peek() != float("inf"):
-            self.env.step()
-        end_time = self.env.now
-        duration = max(end_time - start_time, 1e-9)
-
-        window = self.engine.energy.since(energy_before)
-        gpu = GpuRuntimeBreakdown.from_engine_window(
-            self.engine.runtime_breakdown(start_time, end_time)
-        )
-        kv_stats = self.engine.kv_memory_stats(start_time, end_time)
-        return ServingResult(
-            config=self.config,
-            offered_qps=plan.offered_qps,
-            num_requests=len(plan),
-            results=collected,
-            duration=duration,
-            energy_wh=window.total_wh,
-            gpu=gpu,
-            kv_average_bytes=kv_stats["average_bytes"],
-            kv_max_bytes=kv_stats["max_bytes"],
-            preemptions=self.engine.scheduler.preemption_count,
-            prefix_cache_hit_rate=self.engine.kv_cache.hit_rate(),
-        )
+        return self._driver.serve(plan)
 
     # -- closed-loop sequential serving -------------------------------------------
     def serve_sequential(self, num_requests: int) -> ServingResult:
         """Process requests strictly one at a time (the paper's sequential baseline)."""
-        plan = sequential_plan(self.workload, num_requests)
-        collected: List[AgentRunResult] = []
-        energy_before = self.engine.energy.snapshot()
-        start_time = self.env.now
-        for task in plan.tasks:
-            agent = self._make_agent()
-            result = self.env.run(agent.run_process(task))
-            collected.append(result)
-        duration = max(self.env.now - start_time, 1e-9)
-        window = self.engine.energy.since(energy_before)
-        gpu = GpuRuntimeBreakdown.from_engine_window(
-            self.engine.runtime_breakdown(start_time, self.env.now)
-        )
-        kv_stats = self.engine.kv_memory_stats(start_time, self.env.now)
-        return ServingResult(
-            config=self.config,
-            offered_qps=0.0,
-            num_requests=num_requests,
-            results=collected,
-            duration=duration,
-            energy_wh=window.total_wh,
-            gpu=gpu,
-            kv_average_bytes=kv_stats["average_bytes"],
-            kv_max_bytes=kv_stats["max_bytes"],
-            preemptions=self.engine.scheduler.preemption_count,
-            prefix_cache_hit_rate=self.engine.kv_cache.hit_rate(),
-        )
+        return self._driver.serve_sequential(num_requests)
 
 
 def run_at_qps(
@@ -217,13 +176,17 @@ def run_at_qps(
     num_requests: int = 60,
     task_pool_size: int = 48,
 ) -> ServingResult:
-    """Convenience wrapper: build a server, drive it at ``qps``, return the result."""
-    server = AgentServer(config)
-    plan = poisson_plan(
-        server.workload,
-        qps=qps,
-        num_requests=num_requests,
-        stream=server.stream.substream(f"plan/{qps}"),
-        task_pool_size=task_pool_size,
+    """Convenience wrapper: drive ``config`` at ``qps`` through the unified API."""
+    from repro.api.runners import run_experiment
+    from repro.api.spec import ArrivalSpec
+
+    spec = _spec_from_config(
+        config,
+        arrival=ArrivalSpec(
+            process="poisson",
+            qps=qps,
+            num_requests=num_requests,
+            task_pool_size=task_pool_size,
+        ),
     )
-    return server.serve(plan)
+    return run_experiment(spec).serving

@@ -5,7 +5,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
-from repro.serving.server import ServingConfig, ServingResult, run_at_qps
+from repro.serving.server import ServingConfig, ServingResult
+
+#: Baseline p95 latencies at or below this are treated as "no signal" when
+#: deriving the knee threshold (a degenerate baseline would otherwise collapse
+#: the threshold to zero and report no sustainable throughput on healthy runs).
+_BASELINE_EPSILON = 1e-9
 
 
 @dataclass
@@ -38,12 +43,27 @@ class QpsSweepResult:
         ``knee_factor`` times the lowest-load p95 (or below an absolute SLO if
         one is given).  This mirrors how the paper reads peak throughput off
         its Fig. 11 curves.
+
+        A zero (or numerically negligible) lowest-load p95 carries no signal
+        about saturation, so the baseline falls back to the smallest positive
+        p95 in the sweep; if every point is at zero latency the threshold is
+        unbounded and any sufficiently completed point counts.
         """
         if not self.results:
             return 0.0
         ordered = sorted(self.results, key=lambda result: result.offered_qps)
-        baseline = ordered[0].p95_latency
-        threshold = latency_slo_s if latency_slo_s is not None else baseline * knee_factor
+        if latency_slo_s is not None:
+            threshold = latency_slo_s
+        else:
+            baseline = ordered[0].p95_latency
+            if baseline <= _BASELINE_EPSILON:
+                positive = [
+                    result.p95_latency
+                    for result in ordered
+                    if result.p95_latency > _BASELINE_EPSILON
+                ]
+                baseline = min(positive) if positive else float("inf")
+            threshold = baseline * knee_factor
         peak = 0.0
         for result in ordered:
             if result.p95_latency <= threshold and result.num_completed >= result.num_requests * 0.95:
@@ -57,10 +77,20 @@ def sweep_qps(
     num_requests: int = 60,
     task_pool_size: int = 48,
 ) -> QpsSweepResult:
-    """Run the same serving configuration across several offered loads."""
-    sweep = QpsSweepResult(config=config)
-    for qps in qps_values:
-        sweep.results.append(
-            run_at_qps(config, qps, num_requests=num_requests, task_pool_size=task_pool_size)
-        )
-    return sweep
+    """Run the same serving configuration across several offered loads.
+
+    Compatibility shim over :func:`repro.api.run_sweep`.
+    """
+    from repro.api.runners import run_sweep
+    from repro.api.spec import ArrivalSpec
+    from repro.serving.server import _spec_from_config
+
+    spec = _spec_from_config(
+        config,
+        arrival=ArrivalSpec(
+            process="single",
+            num_requests=num_requests,
+            task_pool_size=task_pool_size,
+        ),
+    )
+    return run_sweep(spec, qps_values)

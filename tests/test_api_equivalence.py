@@ -1,0 +1,165 @@
+"""The new API must reproduce the seed entry points bit-for-bit.
+
+The golden values below were captured by running the pre-redesign
+``SingleRequestRunner`` / ``run_at_qps`` implementations (commit ``c26818c``)
+at the exact configurations used here.  Every metric is asserted with zero
+tolerance: one replica under FCFS scheduling through the unified API must be
+event-for-event identical to the legacy hand-rolled wiring.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.agents import AgentConfig
+from repro.api import ArrivalSpec, ExperimentSpec, run_experiment
+from repro.core import SingleRequestRunner
+from repro.serving import ServingConfig, run_at_qps
+
+
+class TestCharacterizationGolden:
+    """SingleRequestRunner(model="8b", seed=1).run("react", "hotpotqa", num_tasks=3)."""
+
+    GOLDEN = {
+        "mean_latency": 16.668997844782456,
+        "accuracy": 0.3333333333333333,
+        "mean_energy_wh": 0.8561984437107726,
+        "mean_llm_calls": 7.0,
+        "mean_total_tokens": 7180.333333333333,
+    }
+
+    def _check(self, result):
+        for metric, expected in self.GOLDEN.items():
+            assert getattr(result, metric) == expected, metric
+
+    def test_legacy_shim_matches_seed(self):
+        runner = SingleRequestRunner(model="8b", seed=1)
+        self._check(runner.run("react", "hotpotqa", num_tasks=3))
+
+    def test_spec_through_new_api_matches_seed(self):
+        spec = ExperimentSpec(
+            agent="react",
+            workload="hotpotqa",
+            model="8b",
+            replicas=1,
+            scheduler="fcfs",
+            arrival=ArrivalSpec(process="single", num_requests=3),
+            seed=1,
+        )
+        outcome = run_experiment(spec)
+        self._check(outcome.characterization)
+        # Unified interface agrees with the wrapped result.
+        assert outcome.mean_latency == self.GOLDEN["mean_latency"]
+        assert outcome.accuracy == self.GOLDEN["accuracy"]
+
+
+class TestServingGolden:
+    """run_at_qps(react/hotpotqa, qps=1.0, 10 requests, pool 8, seed 0)."""
+
+    GOLDEN = {
+        "mean_latency": 10.870826106902523,
+        "p95_latency": 15.505812430261916,
+        "energy_wh": 1.55705991896767,
+        "throughput_qps": 0.43405991885767026,
+        "duration": 23.038293944111054,
+        "kv_average_bytes": 143263924.27464935,
+        "preemptions": 0,
+        "prefix_cache_hit_rate": 0.9135721327637201,
+    }
+
+    def _config(self) -> ServingConfig:
+        return ServingConfig(
+            agent="react",
+            benchmark="hotpotqa",
+            model="8b",
+            agent_config=AgentConfig(max_iterations=5),
+            max_decode_chunk=8,
+            seed=0,
+        )
+
+    def _spec(self) -> ExperimentSpec:
+        return ExperimentSpec(
+            agent="react",
+            workload="hotpotqa",
+            model="8b",
+            replicas=1,
+            scheduler="fcfs",
+            agent_config=AgentConfig(max_iterations=5),
+            arrival=ArrivalSpec(process="poisson", qps=1.0, num_requests=10, task_pool_size=8),
+            seed=0,
+            max_decode_chunk=8,
+        )
+
+    def _check(self, result):
+        for metric, expected in self.GOLDEN.items():
+            assert getattr(result, metric) == expected, metric
+
+    def test_legacy_shim_matches_seed(self):
+        self._check(run_at_qps(self._config(), qps=1.0, num_requests=10, task_pool_size=8))
+
+    def test_spec_through_new_api_matches_seed(self):
+        outcome = run_experiment(self._spec())
+        self._check(outcome.serving)
+        assert outcome.throughput_qps == self.GOLDEN["throughput_qps"]
+
+    def test_shim_and_api_produce_identical_distributions(self):
+        shim = run_at_qps(self._config(), qps=1.0, num_requests=10, task_pool_size=8)
+        api = run_experiment(self._spec()).serving
+        assert shim.latencies == api.latencies
+        assert shim.config == api.config
+
+    def test_chatbot_serving_golden(self):
+        config = ServingConfig(
+            agent="chatbot", benchmark="sharegpt", model="8b", max_decode_chunk=8, seed=3
+        )
+        result = run_at_qps(config, qps=4.0, num_requests=12, task_pool_size=8)
+        assert result.mean_latency == 5.165153545879206
+        assert result.p95_latency == 9.76467261074811
+        assert result.energy_wh == 1.0307809818002893
+        assert result.throughput_qps == 0.8750023061426455
+
+
+class TestResultSetInterface:
+    def test_wraps_exactly_one_result(self):
+        from repro.api import ResultSet
+
+        with pytest.raises(ValueError):
+            ResultSet(spec=ExperimentSpec())
+
+    def test_serving_summary_fields(self):
+        spec = ExperimentSpec(
+            agent="chatbot",
+            workload="sharegpt",
+            arrival=ArrivalSpec(process="poisson", qps=2.0, num_requests=5, task_pool_size=5),
+            max_decode_chunk=8,
+        )
+        outcome = run_experiment(spec)
+        summary = outcome.summary()
+        assert summary["kind"] == "serving"
+        assert summary["num_completed"] == 5
+        assert summary["throughput_qps"] == outcome.throughput_qps
+        assert outcome.raw is outcome.serving
+
+    def test_sequential_arrival_runs_closed_loop(self):
+        spec = ExperimentSpec(
+            agent="chatbot",
+            workload="sharegpt",
+            arrival=ArrivalSpec(process="sequential", num_requests=3),
+            max_decode_chunk=8,
+        )
+        outcome = run_experiment(spec)
+        assert outcome.serving.offered_qps == 0.0
+        assert outcome.num_completed == 3
+        assert outcome.serving.duration == pytest.approx(sum(outcome.latencies), rel=0.05)
+
+    def test_measurement_warmup_excludes_first_completions(self):
+        arrival = ArrivalSpec(process="poisson", qps=2.0, num_requests=6, task_pool_size=5)
+        base = ExperimentSpec(
+            agent="chatbot", workload="sharegpt", arrival=arrival, max_decode_chunk=8
+        )
+        full = run_experiment(base)
+        from repro.api import MeasurementSpec
+
+        warm = run_experiment(base.with_overrides(measurement=MeasurementSpec(warmup_requests=2)))
+        assert warm.num_completed == full.num_completed - 2
+        assert warm.latencies == full.latencies[2:]

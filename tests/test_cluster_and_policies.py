@@ -1,0 +1,229 @@
+"""Tests for the replica cluster, routing policies, and scheduler policies."""
+
+from __future__ import annotations
+
+from collections import deque
+
+import pytest
+
+from repro.api import ArrivalSpec, ExperimentSpec, run_experiment, run_sweep
+from repro.llm import (
+    EngineConfig,
+    Prompt,
+    SamplingParams,
+    available_scheduler_policies,
+    create_scheduler_policy,
+)
+from repro.llm.request import LLMRequest
+from repro.llm.tokenizer import SegmentKind, SyntheticTokenizer
+from repro.serving import (
+    Cluster,
+    available_router_policies,
+    create_router_policy,
+)
+from repro.sim import Environment
+
+TOKENIZER = SyntheticTokenizer()
+
+
+def make_request(
+    prompt_tokens: int = 64,
+    output_tokens: int = 16,
+    stream: str = "req",
+    priority: float = 0.0,
+) -> LLMRequest:
+    prompt = Prompt()
+    prompt.append(TOKENIZER.span(SegmentKind.USER, stream, prompt_tokens))
+    return LLMRequest(
+        prompt=prompt,
+        sampling=SamplingParams(output_tokens=output_tokens),
+        metadata={"priority": priority} if priority else None,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Scheduler policies
+# ---------------------------------------------------------------------------
+
+
+class TestSchedulerPolicies:
+    def test_registry_contents(self):
+        assert available_scheduler_policies() == [
+            "fcfs",
+            "priority",
+            "sjf-by-predicted-decode",
+        ]
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="unknown scheduler policy"):
+            create_scheduler_policy("shortest-prompt")
+
+    def test_mixed_case_registration_is_reachable(self):
+        from repro.llm.scheduler import (
+            SCHEDULER_POLICIES,
+            FCFSPolicy,
+            register_scheduler_policy,
+        )
+
+        class EDFPolicy(FCFSPolicy):
+            name = "EDF-Test"
+
+        register_scheduler_policy(EDFPolicy)
+        try:
+            assert isinstance(create_scheduler_policy("edf-test"), EDFPolicy)
+            assert isinstance(create_scheduler_policy("EDF-Test"), EDFPolicy)
+        finally:
+            SCHEDULER_POLICIES.pop("edf-test", None)
+
+    def test_fcfs_always_picks_queue_head(self):
+        policy = create_scheduler_policy("fcfs")
+        waiting = deque(
+            [make_request(output_tokens=n, stream=f"s{n}") for n in (30, 10, 20)]
+        )
+        assert policy.select_index(waiting, now=0.0) == 0
+
+    def test_sjf_picks_shortest_predicted_decode(self):
+        policy = create_scheduler_policy("sjf-by-predicted-decode")
+        waiting = deque(
+            [make_request(output_tokens=n, stream=f"s{n}") for n in (30, 10, 20)]
+        )
+        assert policy.select_index(waiting, now=0.0) == 1
+
+    def test_sjf_breaks_ties_fcfs(self):
+        policy = create_scheduler_policy("sjf-by-predicted-decode")
+        waiting = deque(
+            [make_request(output_tokens=8, stream=f"s{n}") for n in range(3)]
+        )
+        assert policy.select_index(waiting, now=0.0) == 0
+
+    def test_priority_prefers_highest_priority(self):
+        policy = create_scheduler_policy("priority")
+        waiting = deque(
+            [
+                make_request(stream="low", priority=0.0),
+                make_request(stream="high", priority=5.0),
+                make_request(stream="mid", priority=2.0),
+            ]
+        )
+        assert policy.select_index(waiting, now=0.0) == 1
+
+    def test_priority_ties_resolve_fcfs(self):
+        policy = create_scheduler_policy("priority")
+        waiting = deque([make_request(stream=f"s{n}", priority=1.0) for n in range(3)])
+        assert policy.select_index(waiting, now=0.0) == 0
+
+    def test_all_policies_run_end_to_end(self):
+        for policy in available_scheduler_policies():
+            spec = ExperimentSpec(
+                agent="chatbot",
+                workload="sharegpt",
+                scheduler=policy,
+                arrival=ArrivalSpec(process="poisson", qps=2.0, num_requests=4, task_pool_size=4),
+                max_decode_chunk=8,
+            )
+            outcome = run_experiment(spec)
+            assert outcome.num_completed == 4, policy
+
+
+# ---------------------------------------------------------------------------
+# Router policies
+# ---------------------------------------------------------------------------
+
+
+class TestRouterPolicies:
+    def _cluster(self, num_replicas: int = 4, router: str = "round-robin") -> Cluster:
+        return Cluster(
+            Environment(), EngineConfig(), num_replicas=num_replicas, router=router
+        )
+
+    def test_registry_contents(self):
+        assert available_router_policies() == [
+            "least-loaded",
+            "prefix-affinity",
+            "round-robin",
+        ]
+
+    def test_unknown_router_rejected(self):
+        with pytest.raises(ValueError, match="unknown router policy"):
+            create_router_policy("weighted-random")
+
+    def test_round_robin_cycles(self):
+        cluster = self._cluster(router="round-robin")
+        picks = [
+            cluster.router.select(make_request(stream=f"s{n}"), cluster.replicas)
+            for n in range(8)
+        ]
+        assert picks == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_least_loaded_prefers_emptiest_replica(self):
+        cluster = self._cluster(router="least-loaded")
+        # Load replicas 0-2 by submitting through them directly.
+        for index in (0, 0, 1, 2):
+            cluster.replicas[index].submit(make_request(stream=f"load{index}"))
+        assert cluster.router.select(make_request(stream="probe"), cluster.replicas) == 3
+
+    def test_prefix_affinity_is_deterministic_and_sticky(self):
+        cluster = self._cluster(router="prefix-affinity")
+        first = cluster.router.select(make_request(stream="same"), cluster.replicas)
+        again = cluster.router.select(make_request(stream="same"), cluster.replicas)
+        assert first == again
+
+    def test_prefix_affinity_spills_under_load(self):
+        cluster = self._cluster(router="prefix-affinity")
+        request = make_request(stream="hot")
+        preferred = cluster.router.select(request, cluster.replicas)
+        # Saturate the preferred replica beyond the spill threshold.
+        for n in range(cluster.router.spill_threshold + 1):
+            cluster.replicas[preferred].submit(make_request(stream=f"fill{n}"))
+        spilled = cluster.router.select(make_request(stream="hot"), cluster.replicas)
+        assert spilled != preferred
+
+    def test_single_replica_routes_everything_to_it(self):
+        for router in available_router_policies():
+            cluster = self._cluster(num_replicas=1, router=router)
+            for n in range(5):
+                cluster.submit(make_request(stream=f"r{n}"))
+            assert cluster.routed_counts == [5]
+
+    def test_routing_deterministic_under_fixed_seed(self):
+        spec = ExperimentSpec(
+            agent="chatbot",
+            workload="sharegpt",
+            replicas=3,
+            router="round-robin",
+            arrival=ArrivalSpec(process="poisson", qps=3.0, num_requests=9, task_pool_size=6),
+            seed=11,
+            max_decode_chunk=8,
+        )
+        first = run_experiment(spec).serving
+        second = run_experiment(spec).serving
+        assert first.routed_counts == second.routed_counts
+        assert sum(first.routed_counts) >= 9
+        assert first.latencies == second.latencies
+
+
+# ---------------------------------------------------------------------------
+# Cluster metric aggregation
+# ---------------------------------------------------------------------------
+
+
+class TestClusterAggregation:
+    def test_replica_count_validation(self):
+        with pytest.raises(ValueError, match="num_replicas"):
+            Cluster(Environment(), EngineConfig(), num_replicas=0)
+
+    def test_multi_replica_serving_reports_aggregates(self):
+        spec = ExperimentSpec(
+            agent="chatbot",
+            workload="sharegpt",
+            replicas=2,
+            arrival=ArrivalSpec(process="poisson", qps=4.0, num_requests=8, task_pool_size=6),
+            max_decode_chunk=8,
+        )
+        result = run_experiment(spec).serving
+        assert result.num_replicas == 2
+        assert len(result.routed_counts) == 2
+        assert sum(result.routed_counts) >= 8
+        assert result.energy_wh > 0
+        assert result.kv_max_bytes > 0
+        assert 0.0 <= result.prefix_cache_hit_rate <= 1.0
