@@ -7,6 +7,21 @@ the paper reports: LLM/tool invocations, latency breakdown, GPU utilization,
 token composition, and GPU energy.  A second spec shows the same workload
 served open-loop on a multi-replica cluster.
 
+Beyond the single-pool specs shown here, the same ``ExperimentSpec`` scales
+to a heterogeneous elastic fleet (see ``examples/mixed_fleet.py``):
+
+* ``pools=(PoolSpec(name=..., model=..., replicas=..., scheduler=...,
+  router=..., traffic_classes=(...,)), ...)`` declares named replica pools
+  with their own engine configuration; the cluster classifies each request
+  (by traffic class or predicted decode length) and routes it to the right
+  pool, spilling to less-loaded pools under overload,
+* ``workloads=(WeightedWorkload(agent=..., workload=..., weight=...,
+  name=...), ...)`` serves a weighted traffic mixture (e.g. chatbot + agent,
+  the paper's Table IV datacenter scenario) through one arrival process,
+* ``autoscaler=AutoscalerSpec(pool=..., min_replicas=..., max_replicas=...,
+  warmup_s=...)`` grows/shrinks a pool from load signals (queue depth,
+  rolling p95) at a replica-seconds cost reported in the ``ResultSet``.
+
 Run with::
 
     python examples/quickstart.py

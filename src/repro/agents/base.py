@@ -124,6 +124,9 @@ class BaseAgent:
         self.config = config or AgentConfig()
         self.seed_stream = seed_stream or RandomStream(0, f"agent/{self.name}")
         self.tokenizer: SyntheticTokenizer = client.tokenizer
+        # Extra key/values stamped onto every LLM request this agent issues
+        # (e.g. the traffic class a pool-aware cluster routes on).
+        self.request_metadata: Dict[str, Any] = {}
 
         self.profile = get_agent_profile(self.name)
         self.benchmark_profile = workload.profile
@@ -202,7 +205,12 @@ class BaseAgent:
         result = yield self.client.generate(
             prompt.copy(),
             output_tokens=tokens,
-            metadata={"agent": self.name, "role": role, "task": trace.task_id},
+            metadata={
+                "agent": self.name,
+                "role": role,
+                "task": trace.task_id,
+                **self.request_metadata,
+            },
         )
         trace.llm_calls.append(result)
         return result
@@ -226,7 +234,12 @@ class BaseAgent:
         return self.client.generate(
             prompt.copy(),
             output_tokens=tokens,
-            metadata={"agent": self.name, "role": role, "task": trace.task_id},
+            metadata={
+                "agent": self.name,
+                "role": role,
+                "task": trace.task_id,
+                **self.request_metadata,
+            },
         )
 
     @staticmethod

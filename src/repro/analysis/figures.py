@@ -824,3 +824,115 @@ def figure17(
             "lats", benchmark, "max_expansions", lats_expansions, num_tasks, model, seed
         )
     return Figure17Result(sweeps=sweeps)
+
+
+# ---------------------------------------------------------------------------
+# Mixed-traffic fleet study (the paper's Table IV datacenter scenario,
+# extended with heterogeneous pools and autoscaling).
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class MixedFleetResult:
+    """Per-pool and per-class view of one mixed-traffic fleet experiment."""
+
+    outcome: object  # ResultSet
+
+    def pool_rows(self) -> List[Dict[str, object]]:
+        return self.outcome.per_pool_summary()
+
+    def class_rows(self) -> List[Dict[str, object]]:
+        return self.outcome.per_class_summary()
+
+    def rows(self) -> List[Dict[str, object]]:
+        return self.pool_rows() + self.class_rows()
+
+    @property
+    def replica_seconds(self) -> float:
+        return self.outcome.replica_seconds
+
+    @property
+    def scaling_events(self) -> List[object]:
+        return self.outcome.serving.scaling_events
+
+    def format(self) -> str:
+        parts = [
+            format_table(self.pool_rows(), "Mixed fleet: per-pool metrics"),
+            format_table(self.class_rows(), "Mixed fleet: per-traffic-class metrics"),
+            (
+                f"replica-seconds: {self.replica_seconds:.1f}  "
+                f"scaling events: {len(self.scaling_events)}"
+            ),
+        ]
+        return "\n\n".join(parts)
+
+
+def mixed_fleet(
+    qps: float = 2.0,
+    num_requests: int = 24,
+    chat_weight: float = 0.6,
+    agent_weight: float = 0.4,
+    chat_replicas: int = 1,
+    agent_replicas: int = 2,
+    autoscale: bool = True,
+    max_chat_replicas: int = 3,
+    predictor_error: float = 0.0,
+    seed: int = 0,
+) -> MixedFleetResult:
+    """Serve a chatbot + agent traffic mixture on a two-pool fleet.
+
+    The chatbot pool handles short interactive requests (optionally
+    autoscaled between 1 and ``max_chat_replicas`` replicas); the agent pool
+    runs SJF scheduling with prefix-affinity routing for the long multi-call
+    ReAct traffic.  Returns per-pool throughput/p95/energy/replica-seconds
+    and per-class latency/accuracy -- the datacenter-scale view of Table IV.
+    """
+    from repro.api.spec import AutoscalerSpec, PoolSpec, WeightedWorkload
+
+    autoscaler = None
+    if autoscale:
+        autoscaler = AutoscalerSpec(
+            pool="chat",
+            min_replicas=1,
+            max_replicas=max_chat_replicas,
+            check_interval_s=1.0,
+            warmup_s=2.0,
+            scale_up_pending_per_replica=2.0,
+            scale_down_pending_per_replica=0.5,
+        )
+    spec = ExperimentSpec(
+        pools=(
+            PoolSpec(
+                name="chat",
+                model="8b",
+                replicas=chat_replicas,
+                router="least-loaded",
+                traffic_classes=("chat",),
+            ),
+            PoolSpec(
+                name="agent",
+                model="8b",
+                replicas=agent_replicas,
+                scheduler="sjf-by-predicted-decode",
+                router="prefix-affinity",
+                traffic_classes=("agent",),
+            ),
+        ),
+        workloads=(
+            WeightedWorkload(
+                agent="chatbot", workload="sharegpt", weight=chat_weight, name="chat"
+            ),
+            WeightedWorkload(
+                agent="react", workload="hotpotqa", weight=agent_weight, name="agent"
+            ),
+        ),
+        autoscaler=autoscaler,
+        arrival=ArrivalSpec(
+            process="poisson", qps=qps, num_requests=num_requests, task_pool_size=12
+        ),
+        agent_config=AgentConfig(max_iterations=5),
+        max_decode_chunk=8,
+        predictor_error=predictor_error,
+        seed=seed,
+    )
+    return MixedFleetResult(outcome=run_experiment(spec))

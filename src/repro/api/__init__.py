@@ -21,6 +21,14 @@ Quickstart::
     result = run_experiment(spec)
     print(result.summary())
 
+For datacenter-scale scenarios the spec scales to a heterogeneous elastic
+fleet: ``pools=[PoolSpec(...)]`` declares named replica pools (own model,
+scheduler, router, traffic classes), ``workloads=[WeightedWorkload(...)]``
+serves a weighted chatbot+agent traffic mixture through one arrival process,
+and ``autoscaler=AutoscalerSpec(...)`` sizes a pool elastically from load
+signals; the :class:`ResultSet` then reports per-pool and per-traffic-class
+metrics plus replica-seconds (see ``examples/mixed_fleet.py``).
+
 The legacy entry points (``SingleRequestRunner``, ``AgentServer``,
 ``run_at_qps``, ``sweep_qps``) remain as thin compatibility shims over this
 layer and reproduce their historical results bit-for-bit.
@@ -37,19 +45,25 @@ from repro.api.runners import (
 from repro.api.spec import (
     ARRIVAL_PROCESSES,
     ArrivalSpec,
+    AutoscalerSpec,
     ExperimentSpec,
     MeasurementSpec,
+    PoolSpec,
+    WeightedWorkload,
 )
 
 __all__ = [
     "ARRIVAL_PROCESSES",
     "ArrivalSpec",
+    "AutoscalerSpec",
     "ExperimentSpec",
     "MeasurementSpec",
+    "PoolSpec",
     "ResultSet",
     "ServingDriver",
     "System",
     "SystemBuilder",
+    "WeightedWorkload",
     "compat_serving_config",
     "run_experiment",
     "run_sweep",

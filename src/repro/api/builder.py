@@ -2,25 +2,28 @@
 
 :class:`SystemBuilder` owns every wiring decision the legacy entry points
 (``SingleRequestRunner._build``, ``AgentServer.__init__``, ``run_at_qps``)
-used to duplicate: environment creation, engine-cluster construction, client
-binding, workload instantiation, toolset assembly, and agent creation with
-the experiment-scoped random streams.  The stream namespaces intentionally
-match the legacy ones (``runner/...`` for single-request characterization,
-``serving/...`` for serving runs) so a one-replica FCFS spec reproduces the
-legacy results bit-for-bit at the same seed.
+used to duplicate: environment creation, replica-pool and cluster
+construction, client binding, workload instantiation (including the weighted
+traffic-class mixture), autoscaler attachment, toolset assembly, and agent
+creation with the experiment-scoped random streams.  The stream namespaces
+intentionally match the legacy ones (``runner/...`` for single-request
+characterization, ``serving/...`` for serving runs) so a one-replica FCFS
+spec reproduces the legacy results bit-for-bit.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional
+from dataclasses import dataclass, field
+from typing import Dict, Optional
 
 from repro.agents import create_agent
 from repro.agents.base import BaseAgent
-from repro.api.spec import ExperimentSpec
+from repro.api.spec import ExperimentSpec, PoolSpec, WeightedWorkload
 from repro.llm import EngineConfig, LLMClient, SchedulerConfig
 from repro.llm.models import get_model
-from repro.serving.cluster import Cluster
+from repro.llm.predictor import DecodeLengthPredictor
+from repro.serving.autoscaler import Autoscaler
+from repro.serving.cluster import Cluster, ReplicaPool
 from repro.sim import Environment, RandomStream
 from repro.tools.base import ToolSet
 from repro.workloads import create_workload
@@ -28,15 +31,33 @@ from repro.workloads.base import Workload
 
 
 @dataclass
+class TrafficClassRuntime:
+    """One traffic class of the mixture, bound to live machinery."""
+
+    label: str
+    agent: str
+    workload: Workload
+    weight: float
+    agent_config: object  # AgentConfig
+    needs_tools: bool = True
+
+
+@dataclass
 class System:
-    """Fully assembled experiment machinery, ready to be driven."""
+    """Fully assembled experiment machinery, ready to be driven.
+
+    ``workload`` is the legacy single workload; it is ``None`` for mixture
+    specs, whose per-class workloads live in ``traffic``.
+    """
 
     spec: ExperimentSpec
     env: Environment
     cluster: Cluster
     client: LLMClient
-    workload: Workload
+    workload: Optional[Workload]
     stream: RandomStream
+    traffic: Dict[str, TrafficClassRuntime] = field(default_factory=dict)
+    autoscaler: Optional[Autoscaler] = None
 
     def build_toolset(self) -> Optional[ToolSet]:
         """Fresh toolset bound to this system (``None`` for tool-less agents)."""
@@ -63,6 +84,30 @@ class System:
             seed_stream=seed_stream,
         )
 
+    def create_class_agent(self, label: str, seed_stream: RandomStream) -> BaseAgent:
+        """Instantiate the agent of traffic class ``label`` bound to its workload.
+
+        The agent stamps its traffic class onto every LLM request it issues,
+        which is what pool-aware cluster routing classifies on.
+        """
+        runtime = self.traffic[label]
+        toolset = None
+        if runtime.needs_tools:
+            toolset = runtime.workload.build_toolset(
+                self.env, self.client.tokenizer, self.client
+            )
+        agent = create_agent(
+            runtime.agent,
+            env=self.env,
+            client=self.client,
+            workload=runtime.workload,
+            toolset=toolset,
+            config=runtime.agent_config,
+            seed_stream=seed_stream,
+        )
+        agent.request_metadata["traffic_class"] = label
+        return agent
+
 
 class SystemBuilder:
     """Builds a :class:`System` from an :class:`ExperimentSpec`."""
@@ -70,13 +115,26 @@ class SystemBuilder:
     def __init__(self, spec: ExperimentSpec):
         self.spec = spec
 
-    def engine_config(self) -> EngineConfig:
-        """Per-replica engine configuration derived from the spec."""
+    def engine_config(self, pool: Optional[PoolSpec] = None) -> EngineConfig:
+        """Engine configuration for one pool (or the legacy default pool)."""
+        spec = self.spec
+        model = pool.model if pool is not None else spec.model
+        scheduler_policy = pool.scheduler if pool is not None else spec.scheduler
+        prefix_caching = spec.enable_prefix_caching
+        if pool is not None and pool.enable_prefix_caching is not None:
+            prefix_caching = pool.enable_prefix_caching
+        max_decode_chunk = spec.max_decode_chunk
+        if pool is not None and pool.max_decode_chunk is not None:
+            max_decode_chunk = pool.max_decode_chunk
         return EngineConfig(
-            model=get_model(self.spec.model),
-            enable_prefix_caching=self.spec.enable_prefix_caching,
-            scheduler=SchedulerConfig(policy=self.spec.scheduler),
-            max_decode_chunk=self.spec.max_decode_chunk,
+            model=get_model(model),
+            enable_prefix_caching=prefix_caching,
+            scheduler=SchedulerConfig(
+                policy=scheduler_policy,
+                predictor_error=spec.predictor_error,
+                predictor_seed=spec.seed,
+            ),
+            max_decode_chunk=max_decode_chunk,
         )
 
     def stream_name(self) -> str:
@@ -85,19 +143,81 @@ class SystemBuilder:
             return f"runner/{self.spec.agent}/{self.spec.workload}"
         return f"serving/{self.spec.agent}/{self.spec.workload}"
 
-    def build(self) -> System:
-        """Assemble environment, cluster, client, workload, and streams."""
+    def build_cluster(self, env: Environment) -> Cluster:
+        """Assemble the replica fleet: explicit pools, or the legacy default."""
         spec = self.spec
-        env = Environment()
-        cluster = Cluster(
+        predictor = DecodeLengthPredictor(spec.predictor_error, seed=spec.seed)
+        if spec.pools:
+            pools = [
+                ReplicaPool(
+                    env,
+                    self.engine_config(pool),
+                    name=pool.name,
+                    num_replicas=pool.replicas,
+                    router=pool.router,
+                    traffic_classes=pool.traffic_classes,
+                    max_predicted_decode=pool.max_predicted_decode,
+                    accepts_spill=pool.accepts_spill,
+                )
+                for pool in spec.pools
+            ]
+            return Cluster(env, pools=pools, predictor=predictor)
+        return Cluster(
             env,
             self.engine_config(),
             num_replicas=spec.replicas,
             router=spec.router,
+            predictor=predictor,
         )
+
+    def build_traffic(self) -> Dict[str, TrafficClassRuntime]:
+        """Instantiate the workload of every traffic class in the mixture."""
+        spec = self.spec
+        traffic: Dict[str, TrafficClassRuntime] = {}
+        for mix in spec.workloads:
+            traffic[mix.name] = TrafficClassRuntime(
+                label=mix.name,
+                agent=mix.agent,
+                workload=create_workload(mix.workload, seed=spec.seed),
+                weight=mix.weight,
+                agent_config=mix.agent_config or spec.agent_config,
+                needs_tools=mix.needs_tools,
+            )
+        return traffic
+
+    def build_autoscaler(self, env: Environment, cluster: Cluster) -> Optional[Autoscaler]:
+        scaling = self.spec.autoscaler
+        if scaling is None:
+            return None
+        pool = cluster.pool(scaling.pool) if scaling.pool else cluster.default_pool
+        return Autoscaler(
+            env,
+            pool,
+            min_replicas=scaling.min_replicas,
+            max_replicas=scaling.max_replicas,
+            check_interval_s=scaling.check_interval_s,
+            warmup_s=scaling.warmup_s,
+            cooldown_s=scaling.cooldown_s,
+            scale_up_pending_per_replica=scaling.scale_up_pending_per_replica,
+            scale_down_pending_per_replica=scaling.scale_down_pending_per_replica,
+            p95_slo_s=scaling.p95_slo_s,
+            p95_window_s=scaling.p95_window_s,
+        )
+
+    def build(self) -> System:
+        """Assemble environment, cluster, client, workloads, and streams."""
+        spec = self.spec
+        env = Environment()
+        cluster = self.build_cluster(env)
         client = LLMClient(env, cluster)
-        workload = create_workload(spec.workload, seed=spec.seed)
+        # Mixture specs serve only their traffic classes; the legacy single
+        # workload would be dead weight (hotpotqa builds a synthetic corpus).
+        workload = (
+            create_workload(spec.workload, seed=spec.seed) if not spec.workloads else None
+        )
         stream = RandomStream(spec.seed, self.stream_name())
+        traffic = self.build_traffic()
+        autoscaler = self.build_autoscaler(env, cluster)
         return System(
             spec=spec,
             env=env,
@@ -105,4 +225,6 @@ class SystemBuilder:
             client=client,
             workload=workload,
             stream=stream,
+            traffic=traffic,
+            autoscaler=autoscaler,
         )

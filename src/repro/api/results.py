@@ -103,11 +103,41 @@ class ResultSet:
             return 0.0
         return self.energy_wh / self.num_completed
 
+    # -- fleet metrics ---------------------------------------------------------
+    @property
+    def replica_seconds(self) -> float:
+        """Replica-seconds paid for across every pool (serving runs only)."""
+        if self.serving is None:
+            return 0.0
+        return self.serving.replica_seconds
+
+    @property
+    def pool_stats(self) -> Dict[str, Any]:
+        """Per-pool engine metrics (name -> PoolStats; empty for characterization)."""
+        if self.serving is None:
+            return {}
+        return self.serving.pool_stats
+
+    @property
+    def class_stats(self) -> Dict[str, Any]:
+        """Per-traffic-class request metrics (empty without a workload mixture)."""
+        if self.serving is None:
+            return {}
+        return self.serving.class_stats
+
+    def per_pool_summary(self) -> List[Dict[str, Any]]:
+        """One flat row per replica pool (throughput, p95, energy, cost)."""
+        return [stats.as_dict() for stats in self.pool_stats.values()]
+
+    def per_class_summary(self) -> List[Dict[str, Any]]:
+        """One flat row per traffic class of the workload mixture."""
+        return [stats.as_dict() for stats in self.class_stats.values()]
+
     # -- reporting -------------------------------------------------------------
     def summary(self) -> Dict[str, Any]:
         """Flat metric dict, convenient for tables and JSON dumps."""
         stats = self.latency_stats
-        return {
+        summary = {
             "kind": self.kind,
             "num_requests": self.num_requests,
             "num_completed": self.num_completed,
@@ -118,3 +148,6 @@ class ResultSet:
             "throughput_qps": self.throughput_qps,
             "energy_wh_per_query": self.energy_wh_per_query,
         }
+        if self.serving is not None:
+            summary["replica_seconds"] = self.replica_seconds
+        return summary

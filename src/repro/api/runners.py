@@ -21,15 +21,28 @@ results bit-for-bit.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, List, Optional, Sequence, Tuple
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
 from repro.agents import AgentRunResult
 from repro.api.builder import System, SystemBuilder
 from repro.api.results import ResultSet
 from repro.api.spec import ExperimentSpec
-from repro.core.metrics import GpuRuntimeBreakdown
+from repro.core.metrics import (
+    GpuRuntimeBreakdown,
+    PoolStats,
+    TrafficClassStats,
+    mean,
+    percentile,
+)
 from repro.core.runner import CharacterizationResult, RequestObservation
-from repro.serving.loadgen import ArrivalPlan, poisson_plan, sequential_plan, uniform_plan
+from repro.serving.cluster import ReplicaPool
+from repro.serving.loadgen import (
+    ArrivalPlan,
+    mixture_plan,
+    poisson_plan,
+    sequential_plan,
+    uniform_plan,
+)
 from repro.serving.server import ServingConfig, ServingResult
 from repro.serving.sweep import QpsSweepResult
 from repro.workloads.base import Task
@@ -117,23 +130,33 @@ class ServingDriver:
         self._active_workers = 0
         # Admission bookkeeping for the max_concurrency gate.
         self._in_flight = 0
-        self._door_queue: Deque[Tuple[float, Task, List[AgentRunResult]]] = deque()
+        self._door_queue: Deque[
+            Tuple[float, Task, Optional[str], List[AgentRunResult]]
+        ] = deque()
         self._admission_delays: List[float] = []
         # (time, energy snapshot) at the moment the warm-up window closed.
         self._warmup_boundary: Optional[Tuple[float, object]] = None
 
     # -- agent/worker assembly ------------------------------------------------
-    def _make_agent(self):
-        return self.system.create_agent(
-            seed_stream=self.system.stream.substream(
-                f"agent-worker/{self._active_workers}"
-            )
+    def _make_agent(self, label: Optional[str] = None):
+        seed_stream = self.system.stream.substream(
+            f"agent-worker/{self._active_workers}"
         )
+        if label is None:
+            return self.system.create_agent(seed_stream=seed_stream)
+        return self.system.create_class_agent(label, seed_stream=seed_stream)
 
-    def _worker(self, task: Task, collected: List[AgentRunResult]):
+    def _worker(
+        self,
+        task: Task,
+        label: Optional[str],
+        collected: List[AgentRunResult],
+    ):
         self._active_workers += 1
-        agent = self._make_agent()
+        agent = self._make_agent(label)
         result = yield agent.run_process(task)
+        if label is not None:
+            result.metadata["traffic_class"] = label
         collected.append(result)
         self._note_completion(collected)
         self._active_workers -= 1
@@ -145,34 +168,38 @@ class ServingDriver:
         if warmup and len(collected) == warmup:
             self._warmup_boundary = (self.env.now, self.system.cluster.energy_snapshot())
 
-    def _spawn(self, task: Task, collected: List[AgentRunResult]) -> None:
+    def _spawn(
+        self, task: Task, label: Optional[str], collected: List[AgentRunResult]
+    ) -> None:
         self._in_flight += 1
-        self.env.process(self._worker(task, collected))
+        self.env.process(self._worker(task, label, collected))
 
-    def _admit(self, task: Task, collected: List[AgentRunResult]) -> None:
+    def _admit(
+        self, task: Task, label: Optional[str], collected: List[AgentRunResult]
+    ) -> None:
         cap = self.spec.max_concurrency
         if cap is not None and self._in_flight >= cap:
-            self._door_queue.append((self.env.now, task, collected))
+            self._door_queue.append((self.env.now, task, label, collected))
             return
         self._admission_delays.append(0.0)
-        self._spawn(task, collected)
+        self._spawn(task, label, collected)
 
     def _on_worker_done(self, collected: List[AgentRunResult]) -> None:
         self._in_flight -= 1
         cap = self.spec.max_concurrency
         while self._door_queue and (cap is None or self._in_flight < cap):
-            enqueued_at, task, sink = self._door_queue.popleft()
+            enqueued_at, task, label, sink = self._door_queue.popleft()
             self._admission_delays.append(self.env.now - enqueued_at)
-            self._spawn(task, sink)
+            self._spawn(task, label, sink)
 
     def _request_generator(self, plan: ArrivalPlan, collected: List[AgentRunResult]):
         previous = 0.0
-        for arrival, task in zip(plan.arrival_times, plan.tasks):
+        for arrival, task, label in zip(plan.arrival_times, plan.tasks, plan.labels()):
             gap = arrival - previous
             if gap > 0:
                 yield self.env.timeout(gap)
             previous = arrival
-            self._admit(task, collected)
+            self._admit(task, label, collected)
 
     # -- open-loop serving ----------------------------------------------------
     def serve(self, plan: ArrivalPlan) -> ServingResult:
@@ -185,9 +212,15 @@ class ServingDriver:
         start_time = env.now
         generator = env.process(self._request_generator(plan, collected))
         env.run(generator)
-        # Drain: run until every issued request has been answered (or no more
-        # simulation events remain, which would indicate a deadlocked worker).
+        # Drain: run until every issued request has been answered (or no
+        # progress remains possible, which would indicate a deadlocked
+        # worker).  An autoscaler's periodic heartbeat keeps the event queue
+        # non-empty forever, so "queue empty" alone is not a liveness test:
+        # when only background timers (heartbeats, replica warm-ups) remain,
+        # no worker can ever complete and we bail out the same way.
         while len(collected) < len(plan) and env.peek() != float("inf"):
+            if self._only_background_events_remain():
+                break
             env.step()
         end_time = env.now
         return self._build_result(
@@ -198,6 +231,19 @@ class ServingDriver:
             start_time=start_time,
             end_time=end_time,
         )
+
+    def _only_background_events_remain(self) -> bool:
+        """True when every scheduled event is an autoscaler/warm-up timer."""
+        autoscaler = self.system.autoscaler
+        if autoscaler is None:
+            return False
+        background = set()
+        if autoscaler.sleep_event is not None:
+            background.add(id(autoscaler.sleep_event))
+        for pool in self.system.cluster.pools.values():
+            background.update(id(timer) for timer in pool.activation_timers)
+        pending = self.env.pending_events()
+        return bool(pending) and all(id(event) in background for event in pending)
 
     # -- closed-loop sequential serving ---------------------------------------
     def serve_sequential(self, num_requests: int) -> ServingResult:
@@ -270,11 +316,93 @@ class ServingDriver:
             num_replicas=system.cluster.num_replicas,
             routed_counts=list(system.cluster.routed_counts),
             admission_delays=list(delays),
+            pool_stats={
+                pool.name: self._pool_stats(
+                    pool, energy_before, start_time, end_time, duration
+                )
+                for pool in system.cluster.pools.values()
+            },
+            class_stats=self._class_stats(measured, duration),
+            replica_seconds=system.cluster.replica_seconds_until(end_time),
+            scaling_events=list(system.cluster.scaling_events),
         )
+
+    def _pool_stats(
+        self,
+        pool: ReplicaPool,
+        energy_before,
+        start_time: float,
+        end_time: float,
+        duration: float,
+    ) -> PoolStats:
+        """Engine-level metrics for one pool over the measured window."""
+        energy_wh = sum(
+            engine.energy.since(energy_before.for_engine(engine)).total_wh
+            for engine in pool.replicas
+        )
+        latencies = [
+            request.timings.e2e_latency
+            for request in pool.completed_requests
+            if request.timings.finished is not None
+            and start_time <= request.timings.finished <= end_time
+        ]
+        return PoolStats(
+            name=pool.name,
+            num_replicas=pool.num_replicas,
+            active_replicas=pool.num_active,
+            routed_counts=list(pool.routed_counts),
+            spilled_in=pool.spilled_in,
+            spilled_out=pool.spilled_out,
+            replica_seconds=pool.replica_seconds_until(end_time),
+            energy_wh=energy_wh,
+            completed_llm_requests=len(latencies),
+            llm_p95_latency_s=percentile(latencies, 95.0),
+            llm_throughput_qps=len(latencies) / duration,
+            preemptions=pool.preemption_count,
+            prefix_cache_hit_rate=pool.prefix_cache_hit_rate(),
+        )
+
+    def _class_stats(
+        self, measured: List[AgentRunResult], duration: float
+    ) -> Dict[str, TrafficClassStats]:
+        """Request-level metrics per traffic class (empty without a mixture)."""
+        groups: Dict[str, List[AgentRunResult]] = {}
+        for result in measured:
+            label = result.metadata.get("traffic_class")
+            if label is not None:
+                groups.setdefault(label, []).append(result)
+        stats: Dict[str, TrafficClassStats] = {}
+        for label, results in groups.items():
+            latencies = [result.e2e_latency for result in results]
+            stats[label] = TrafficClassStats(
+                label=label,
+                num_completed=len(results),
+                mean_latency_s=mean(latencies),
+                p95_latency_s=percentile(latencies, 95.0),
+                throughput_qps=len(results) / duration,
+                accuracy=mean(
+                    [1.0 if result.answer_correct else 0.0 for result in results]
+                ),
+            )
+        return stats
 
 
 def _build_plan(system: System) -> ArrivalPlan:
     arrival = system.spec.arrival
+    if system.traffic:
+        # Weighted traffic-class mixture: one arrival process, each request
+        # tagged with the class it was sampled from.
+        return mixture_plan(
+            [
+                (runtime.label, runtime.workload, runtime.weight)
+                for runtime in system.traffic.values()
+            ],
+            qps=arrival.qps,
+            num_requests=arrival.num_requests,
+            stream=system.stream.substream(f"mixture-plan/{arrival.qps}"),
+            task_pool_size=arrival.task_pool_size,
+            process=arrival.process,
+        )
     if arrival.process == "poisson":
         return poisson_plan(
             system.workload,

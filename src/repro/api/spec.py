@@ -1,11 +1,25 @@
 """Declarative experiment specification: the single front door's vocabulary.
 
 An :class:`ExperimentSpec` captures everything needed to reproduce an
-experiment -- model, replica count, scheduler and router policies, agent,
-workload, arrival process, seed, and measurement window -- as one frozen,
-validated, serialisable value.  Construction is the only place validation
-happens; everything downstream (:class:`~repro.api.builder.SystemBuilder`,
-the runners) can assume a well-formed spec.
+experiment -- model, replica pools, scheduler and router policies, agent,
+workload mixture, autoscaling, arrival process, seed, and measurement window
+-- as one frozen, validated, serialisable value.  Construction is the only
+place validation happens; everything downstream
+(:class:`~repro.api.builder.SystemBuilder`, the runners) can assume a
+well-formed spec.
+
+Fleet vocabulary (the paper's Table IV datacenter scenario):
+
+* :class:`PoolSpec` -- one named replica pool with its own model, size,
+  scheduler, router, and the traffic it prefers (explicit traffic classes
+  and/or a predicted-decode-length bound),
+* :class:`WeightedWorkload` -- one traffic class of a workload mixture: an
+  (agent, workload) pair with a sampling weight,
+* :class:`AutoscalerSpec` -- elastic sizing of one pool from load signals
+  (queue depth, rolling p95) with warm-up cost and cooldown.
+
+Single-pool, single-workload specs (the default fields) are unchanged and
+reproduce the legacy results bit-for-bit.
 """
 
 from __future__ import annotations
@@ -22,6 +36,9 @@ from repro.workloads import available_workloads
 
 #: Arrival processes understood by the experiment runners.
 ARRIVAL_PROCESSES: Tuple[str, ...] = ("single", "poisson", "uniform", "sequential")
+
+#: Agents that run without a toolset.
+TOOLLESS_AGENTS: Tuple[str, ...] = ("cot", "chatbot")
 
 
 @dataclass(frozen=True)
@@ -78,6 +95,130 @@ class MeasurementSpec:
 
 
 @dataclass(frozen=True)
+class PoolSpec:
+    """One named replica pool of a heterogeneous fleet.
+
+    ``traffic_classes`` names the :class:`WeightedWorkload` labels this pool
+    prefers; ``max_predicted_decode`` additionally (or instead) claims every
+    request whose predicted decode length fits the bound.  ``None`` for
+    ``enable_prefix_caching`` / ``max_decode_chunk`` inherits the experiment
+    defaults.
+    """
+
+    name: str
+    model: str = "8b"
+    replicas: int = 1
+    scheduler: str = "fcfs"
+    router: str = "round-robin"
+    traffic_classes: Tuple[str, ...] = ()
+    max_predicted_decode: Optional[int] = None
+    accepts_spill: bool = True
+    enable_prefix_caching: Optional[bool] = None
+    max_decode_chunk: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("pool name must be non-empty")
+        if self.replicas < 1:
+            raise ValueError(f"pool {self.name!r}: replicas must be >= 1")
+        try:
+            get_model(self.model)
+        except KeyError as error:
+            raise ValueError(str(error)) from None
+        if self.scheduler.lower() not in SCHEDULER_POLICIES:
+            raise ValueError(
+                f"pool {self.name!r}: unknown scheduler policy {self.scheduler!r}; "
+                f"known: {available_scheduler_policies()}"
+            )
+        if self.router.lower() not in ROUTER_POLICIES:
+            raise ValueError(
+                f"pool {self.name!r}: unknown router policy {self.router!r}; "
+                f"known: {available_router_policies()}"
+            )
+        if self.max_predicted_decode is not None and self.max_predicted_decode < 1:
+            raise ValueError(f"pool {self.name!r}: max_predicted_decode must be >= 1")
+        if self.max_decode_chunk is not None and self.max_decode_chunk < 1:
+            raise ValueError(f"pool {self.name!r}: max_decode_chunk must be >= 1")
+        if not isinstance(self.traffic_classes, tuple):
+            object.__setattr__(self, "traffic_classes", tuple(self.traffic_classes))
+
+
+@dataclass(frozen=True)
+class WeightedWorkload:
+    """One traffic class of a workload mixture: an (agent, workload) pair.
+
+    ``name`` labels the class (defaults to the workload name); the mixture
+    load generator tags every sampled request with it, and pools claim
+    classes through :attr:`PoolSpec.traffic_classes`.  ``agent_config=None``
+    inherits the experiment-level agent config.
+    """
+
+    agent: str = "react"
+    workload: str = "hotpotqa"
+    weight: float = 1.0
+    name: str = ""
+    agent_config: Optional[AgentConfig] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            object.__setattr__(self, "name", self.workload)
+        if self.agent.lower() not in AGENT_CLASSES:
+            raise ValueError(f"unknown agent {self.agent!r}; known: {available_agents()}")
+        if self.workload.lower() not in available_workloads():
+            raise ValueError(
+                f"unknown workload {self.workload!r}; known: {available_workloads()}"
+            )
+        if self.weight <= 0:
+            raise ValueError(f"traffic class {self.name!r}: weight must be > 0")
+
+    @property
+    def needs_tools(self) -> bool:
+        return self.agent.lower() not in TOOLLESS_AGENTS
+
+
+@dataclass(frozen=True)
+class AutoscalerSpec:
+    """Elastic sizing of one pool from load signals.
+
+    ``pool=""`` targets the default (first) pool.  Scale-up triggers when
+    pending requests per provisioned replica exceed
+    ``scale_up_pending_per_replica`` or the rolling p95 of LLM latencies
+    violates ``p95_slo_s`` (when set); scale-down when the queue falls below
+    ``scale_down_pending_per_replica`` with no SLO pressure.  New replicas
+    pay for capacity immediately but take traffic only after ``warmup_s``.
+    """
+
+    pool: str = ""
+    min_replicas: int = 1
+    max_replicas: int = 4
+    check_interval_s: float = 2.0
+    warmup_s: float = 5.0
+    cooldown_s: float = 0.0
+    scale_up_pending_per_replica: float = 4.0
+    scale_down_pending_per_replica: float = 1.0
+    p95_slo_s: Optional[float] = None
+    p95_window_s: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.min_replicas < 1:
+            raise ValueError("autoscaler min_replicas must be >= 1")
+        if self.max_replicas < self.min_replicas:
+            raise ValueError("autoscaler max_replicas must be >= min_replicas")
+        if self.check_interval_s <= 0:
+            raise ValueError("autoscaler check_interval_s must be > 0")
+        if self.warmup_s < 0 or self.cooldown_s < 0:
+            raise ValueError("autoscaler warm-up/cooldown must be >= 0")
+        if self.scale_down_pending_per_replica >= self.scale_up_pending_per_replica:
+            raise ValueError(
+                "autoscaler scale-down threshold must be below the scale-up threshold"
+            )
+        if self.p95_slo_s is not None and self.p95_slo_s <= 0:
+            raise ValueError("autoscaler p95_slo_s must be > 0 (or None)")
+        if self.p95_window_s <= 0:
+            raise ValueError("autoscaler p95_window_s must be > 0")
+
+
+@dataclass(frozen=True)
 class ExperimentSpec:
     """One experiment, fully described.
 
@@ -101,6 +242,13 @@ class ExperimentSpec:
     seed: int = 0
     max_decode_chunk: int = 1
     max_concurrency: Optional[int] = None
+    # -- fleet extensions (empty/None = legacy single-pool behaviour) --------
+    pools: Tuple[PoolSpec, ...] = ()
+    workloads: Tuple[WeightedWorkload, ...] = ()
+    autoscaler: Optional[AutoscalerSpec] = None
+    # Relative error of the decode-length predictor used by SJF scheduling
+    # and decode-length pool classification (0.0 = perfect oracle).
+    predictor_error: float = 0.0
 
     def __post_init__(self) -> None:
         if self.agent.lower() not in AGENT_CLASSES:
@@ -134,11 +282,52 @@ class ExperimentSpec:
                 "measurement.warmup_requests must be smaller than "
                 "arrival.num_requests (the measured window would be empty)"
             )
+        if self.predictor_error < 0:
+            raise ValueError("predictor_error must be >= 0")
+        self._validate_fleet()
+
+    def _validate_fleet(self) -> None:
+        if not isinstance(self.pools, tuple):
+            object.__setattr__(self, "pools", tuple(self.pools))
+        if not isinstance(self.workloads, tuple):
+            object.__setattr__(self, "workloads", tuple(self.workloads))
+        pool_names = [pool.name for pool in self.pools]
+        if len(set(pool_names)) != len(pool_names):
+            raise ValueError(f"duplicate pool names: {pool_names}")
+        class_labels = [mix.name for mix in self.workloads]
+        if len(set(class_labels)) != len(class_labels):
+            raise ValueError(f"duplicate traffic-class labels: {class_labels}")
+        if self.workloads:
+            if self.arrival.process not in ("poisson", "uniform"):
+                raise ValueError(
+                    "workload mixtures require an open-loop arrival process "
+                    "(poisson or uniform)"
+                )
+            known = {label.lower() for label in class_labels}
+            for pool in self.pools:
+                for traffic_class in pool.traffic_classes:
+                    if traffic_class.lower() not in known:
+                        raise ValueError(
+                            f"pool {pool.name!r} claims unknown traffic class "
+                            f"{traffic_class!r}; mixture classes: {sorted(known)}"
+                        )
+        if self.autoscaler is not None:
+            if self.arrival.process == "single":
+                raise ValueError(
+                    "autoscaling requires a serving arrival process, not 'single'"
+                )
+            if self.autoscaler.pool and self.autoscaler.pool not in pool_names:
+                raise ValueError(
+                    f"autoscaler targets unknown pool {self.autoscaler.pool!r}; "
+                    f"known: {pool_names or ['default']}"
+                )
 
     # -- derived -------------------------------------------------------------
     @property
     def needs_tools(self) -> bool:
-        return self.agent.lower() not in ("cot", "chatbot")
+        if self.workloads:
+            return any(mix.needs_tools for mix in self.workloads)
+        return self.agent.lower() not in TOOLLESS_AGENTS
 
     def with_overrides(self, **overrides: Any) -> "ExperimentSpec":
         """Copy with fields replaced (validation reruns on construction)."""
@@ -164,4 +353,23 @@ class ExperimentSpec:
             data["arrival"] = ArrivalSpec(**data["arrival"])
         if isinstance(data.get("measurement"), dict):
             data["measurement"] = MeasurementSpec(**data["measurement"])
+        if data.get("pools"):
+            data["pools"] = tuple(
+                PoolSpec(**dict(pool, traffic_classes=tuple(pool.get("traffic_classes", ()))))
+                if isinstance(pool, dict)
+                else pool
+                for pool in data["pools"]
+            )
+        if data.get("workloads"):
+            mixes = []
+            for mix in data["workloads"]:
+                if isinstance(mix, dict):
+                    mix = dict(mix)
+                    if isinstance(mix.get("agent_config"), dict):
+                        mix["agent_config"] = AgentConfig(**mix["agent_config"])
+                    mix = WeightedWorkload(**mix)
+                mixes.append(mix)
+            data["workloads"] = tuple(mixes)
+        if isinstance(data.get("autoscaler"), dict):
+            data["autoscaler"] = AutoscalerSpec(**data["autoscaler"])
         return cls(**data)

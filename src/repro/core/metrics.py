@@ -199,6 +199,64 @@ class GpuRuntimeBreakdown:
 
 
 @dataclass(frozen=True)
+class PoolStats:
+    """Engine-level metrics for one replica pool over a measured window."""
+
+    name: str
+    num_replicas: int            # replicas ever provisioned (incl. drained)
+    active_replicas: int         # replicas taking traffic at window close
+    routed_counts: List[int] = field(default_factory=list)
+    spilled_in: int = 0
+    spilled_out: int = 0
+    replica_seconds: float = 0.0
+    energy_wh: float = 0.0
+    completed_llm_requests: int = 0
+    llm_p95_latency_s: float = 0.0
+    llm_throughput_qps: float = 0.0
+    preemptions: int = 0
+    prefix_cache_hit_rate: float = 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "pool": self.name,
+            "replicas": self.num_replicas,
+            "active": self.active_replicas,
+            "routed": sum(self.routed_counts),
+            "spilled_in": self.spilled_in,
+            "spilled_out": self.spilled_out,
+            "replica_seconds": self.replica_seconds,
+            "energy_wh": self.energy_wh,
+            "llm_requests": self.completed_llm_requests,
+            "llm_p95_s": self.llm_p95_latency_s,
+            "llm_qps": self.llm_throughput_qps,
+            "preemptions": self.preemptions,
+            "prefix_hit_rate": self.prefix_cache_hit_rate,
+        }
+
+
+@dataclass(frozen=True)
+class TrafficClassStats:
+    """Request-level metrics for one traffic class in a workload mixture."""
+
+    label: str
+    num_completed: int
+    mean_latency_s: float
+    p95_latency_s: float
+    throughput_qps: float
+    accuracy: float
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "class": self.label,
+            "completed": self.num_completed,
+            "mean_latency_s": self.mean_latency_s,
+            "p95_latency_s": self.p95_latency_s,
+            "throughput_qps": self.throughput_qps,
+            "accuracy": self.accuracy,
+        }
+
+
+@dataclass(frozen=True)
 class LatencyStats:
     """Summary statistics over a set of request latencies."""
 

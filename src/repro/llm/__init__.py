@@ -33,6 +33,7 @@ from repro.llm.scheduler import (
     create_scheduler_policy,
     register_scheduler_policy,
 )
+from repro.llm.predictor import DecodeLengthPredictor
 from repro.llm.engine import EngineConfig, EngineStepRecord, LLMEngine
 from repro.llm.client import LLMClient
 
@@ -40,6 +41,7 @@ __all__ = [
     "A100_40GB",
     "BlockAllocator",
     "ClusterSpec",
+    "DecodeLengthPredictor",
     "EngineConfig",
     "EngineStepRecord",
     "EnergyMeter",

@@ -15,6 +15,7 @@ utilization, and KV-memory statistics exactly the way the paper reports them.
 
 from __future__ import annotations
 
+from bisect import bisect_left, bisect_right
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
@@ -90,6 +91,17 @@ class LLMEngine:
         self.completed_requests: List[LLMRequest] = []
         self.total_generated_tokens: int = 0
         self.total_prefill_tokens: int = 0
+
+        # Window-query acceleration: step records are appended in time order,
+        # so (sorted) start/end arrays let reporting bisect to the records
+        # overlapping a window, and running full-history aggregates answer
+        # whole-run queries in O(1) instead of re-scanning every record.
+        self._record_starts: List[float] = []
+        self._record_ends: List[float] = []
+        self._full_breakdown: Dict[str, float] = {"prefill": 0.0, "decode": 0.0, "idle": 0.0}
+        self._full_kv_time: float = 0.0
+        self._full_kv_weighted: float = 0.0
+        self._full_kv_max: float = 0.0
 
         self._wakeup: Optional[Event] = None
         self._idle_since: Optional[float] = None
@@ -263,6 +275,7 @@ class LLMEngine:
         generated_tokens: int,
         energy_joules: float,
     ) -> None:
+        kv_bytes_active = self.kv_cache.active_bytes()
         self.step_records.append(
             EngineStepRecord(
                 start=start,
@@ -273,22 +286,55 @@ class LLMEngine:
                 cached_tokens=cached_tokens,
                 generated_tokens=generated_tokens,
                 kv_blocks_active=self.kv_cache.active_blocks(),
-                kv_bytes_active=self.kv_cache.active_bytes(),
+                kv_bytes_active=kv_bytes_active,
                 num_waiting=self.scheduler.num_waiting,
                 energy_joules=energy_joules,
             )
         )
+        # Running aggregates use the same float expression the windowed scan
+        # evaluates for a full-history window, keeping them bit-identical.
+        record_end = start + duration
+        overlap = record_end - start
+        self._record_starts.append(start)
+        self._record_ends.append(record_end)
+        if overlap > 0:
+            self._full_breakdown[kind] += overlap
+            self._full_kv_time += overlap
+            self._full_kv_weighted += kv_bytes_active * overlap
+            self._full_kv_max = max(self._full_kv_max, kv_bytes_active)
 
     # -- reporting -------------------------------------------------------------
+    def _window_indices(self, start: float, end: float) -> range:
+        """Index range of step records that can overlap ``[start, end]``.
+
+        Records are appended in time order (engine steps never overlap), so
+        both start and end arrays are sorted and the overlapping records form
+        one contiguous run found by bisection.
+        """
+        lo = bisect_right(self._record_ends, start)
+        hi = bisect_left(self._record_starts, end) if end != float("inf") else len(
+            self._record_starts
+        )
+        return range(lo, hi)
+
+    def _covers_full_history(self, start: float, end: float) -> bool:
+        if not self.step_records:
+            return True
+        return start <= self._record_starts[0] and end >= self._record_ends[-1]
+
     def runtime_breakdown(self, start: float = 0.0, end: Optional[float] = None) -> Dict[str, float]:
         """Seconds spent per step kind within ``[start, end]``."""
         end = end if end is not None else float("inf")
-        breakdown = {"prefill": 0.0, "decode": 0.0, "idle": 0.0}
-        for record in self.step_records:
-            record_end = record.start + record.duration
-            overlap = min(record_end, end) - max(record.start, start)
-            if overlap > 0:
-                breakdown[record.kind] += overlap
+        if self._covers_full_history(start, end):
+            breakdown = dict(self._full_breakdown)
+        else:
+            breakdown = {"prefill": 0.0, "decode": 0.0, "idle": 0.0}
+            for index in self._window_indices(start, end):
+                record = self.step_records[index]
+                record_end = record.start + record.duration
+                overlap = min(record_end, end) - max(record.start, start)
+                if overlap > 0:
+                    breakdown[record.kind] += overlap
         if self._idle_since is not None:
             # Account the idle period that is still open at observation time.
             open_end = min(self.env.now, end)
@@ -300,16 +346,22 @@ class LLMEngine:
     def kv_memory_stats(self, start: float = 0.0, end: Optional[float] = None) -> Dict[str, float]:
         """Time-weighted average and maximum active KV-cache bytes in a window."""
         end = end if end is not None else float("inf")
-        total_time = 0.0
-        weighted = 0.0
-        maximum = 0.0
-        for record in self.step_records:
-            record_end = record.start + record.duration
-            overlap = min(record_end, end) - max(record.start, start)
-            if overlap <= 0:
-                continue
-            total_time += overlap
-            weighted += record.kv_bytes_active * overlap
-            maximum = max(maximum, record.kv_bytes_active)
+        if self._covers_full_history(start, end):
+            total_time = self._full_kv_time
+            weighted = self._full_kv_weighted
+            maximum = self._full_kv_max
+        else:
+            total_time = 0.0
+            weighted = 0.0
+            maximum = 0.0
+            for index in self._window_indices(start, end):
+                record = self.step_records[index]
+                record_end = record.start + record.duration
+                overlap = min(record_end, end) - max(record.start, start)
+                if overlap <= 0:
+                    continue
+                total_time += overlap
+                weighted += record.kv_bytes_active * overlap
+                maximum = max(maximum, record.kv_bytes_active)
         average = weighted / total_time if total_time > 0 else 0.0
         return {"average_bytes": average, "max_bytes": maximum}

@@ -1,0 +1,72 @@
+"""Decode-length prediction with configurable accuracy.
+
+The behaviour oracle fixes every call's output length up front, so the
+simulator can expose either a *perfect* predictor (the idealized upper bound
+for prediction-driven schedulers and routers) or a *noisy* one whose relative
+error is configurable -- the realistic regime for learned output-length
+predictors.  Predictions are deterministic per request (derived from the
+experiment seed and the request id) and cached on the request metadata so the
+scheduler and the pool router always agree on the same estimate.
+"""
+
+from __future__ import annotations
+
+from repro.llm.request import LLMRequest
+from repro.sim.distributions import RandomStream
+
+#: metadata key under which a request's (noisy) prediction is cached.
+PREDICTED_DECODE_KEY = "predicted_decode"
+
+
+class DecodeLengthPredictor:
+    """Predicts a request's decode length with a configurable relative error.
+
+    ``relative_error`` is the standard deviation of the multiplicative noise:
+    the prediction is ``true_length * (1 + eps)`` with
+    ``eps ~ Normal(0, relative_error)``, floored at one token.  With
+    ``relative_error=0`` the predictor is exact (the perfect oracle the
+    built-in SJF policy historically assumed).
+
+    Noise is derived from the request *content* (a prompt digest plus the
+    true length), never from process-global state, so the same logical
+    request gets the same prediction on every run of the same experiment --
+    and, like a real learned predictor, identical inputs always yield the
+    same estimate.
+    """
+
+    def __init__(self, relative_error: float = 0.0, seed: int = 0):
+        if relative_error < 0:
+            raise ValueError("relative_error must be >= 0")
+        self.relative_error = relative_error
+        self.seed = seed
+
+    @property
+    def is_exact(self) -> bool:
+        return self.relative_error == 0
+
+    @staticmethod
+    def _request_key(request: LLMRequest) -> str:
+        """Stable per-request identity (prompt-tail digest + true length)."""
+        digest = 0
+        # The tail distinguishes requests that share a long system/few-shot
+        # prefix; the head would collide across every request of one agent.
+        for token in request.prompt_token_ids[-64:]:
+            digest = (digest * 1000003 + token) % (2**61 - 1)
+        return (
+            f"{request.num_prompt_tokens}:{digest}:"
+            f"{request.sampling.effective_output_tokens}"
+        )
+
+    def predict(self, request: LLMRequest) -> float:
+        """Predicted decode length in tokens (deterministic per request)."""
+        exact = float(request.sampling.effective_output_tokens)
+        if self.is_exact:
+            return exact
+        cached = request.metadata.get(PREDICTED_DECODE_KEY)
+        if cached is None:
+            noise = RandomStream(
+                self.seed, f"decode-predictor/{self._request_key(request)}"
+            ).normal(0.0, self.relative_error)
+            cached = max(1.0, exact * (1.0 + noise))
+            request.metadata[PREDICTED_DECODE_KEY] = cached
+        return float(cached)

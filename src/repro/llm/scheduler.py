@@ -16,8 +16,9 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Deque, Dict, List, Optional, Tuple, Type
+from typing import Deque, Dict, List, Optional, Set, Tuple, Type
 
+from repro.llm.predictor import DecodeLengthPredictor
 from repro.llm.prefix_cache import PrefixCache
 from repro.llm.request import LLMRequest, RequestState
 from repro.registry import PolicyRegistry
@@ -37,6 +38,10 @@ class SchedulerConfig:
     # Admission-order policy; must name an entry in the scheduling-policy
     # registry (``fcfs`` is vLLM 0.6.x's default behaviour).
     policy: str = "fcfs"
+    # Relative error of the decode-length predictor used by prediction-driven
+    # policies (0.0 = perfect oracle); seeded so predictions are reproducible.
+    predictor_error: float = 0.0
+    predictor_seed: int = 0
 
 
 # ---------------------------------------------------------------------------
@@ -97,19 +102,23 @@ class PriorityPolicy(SchedulingPolicy):
 class ShortestJobPolicy(SchedulingPolicy):
     """Shortest predicted decode first (FCFS tie-break).
 
-    The simulator's behaviour oracle fixes each call's output length up
-    front, so ``sampling.effective_output_tokens`` doubles as a perfect
-    decode-length predictor -- the idealized upper bound for SJF schedulers
-    driven by learned output-length prediction.
+    Decode lengths come from a :class:`DecodeLengthPredictor`: exact by
+    default (the idealized upper bound for SJF schedulers driven by learned
+    output-length prediction), noisy when the scheduler config sets a
+    ``predictor_error`` -- so scheduler studies no longer have to assume a
+    perfect oracle.
     """
 
     name = "sjf-by-predicted-decode"
+
+    def __init__(self) -> None:
+        self.predictor = DecodeLengthPredictor()
 
     def select_index(self, waiting: Deque[LLMRequest], now: float) -> int:
         best_index = 0
         best_cost = None
         for index, request in enumerate(waiting):
-            cost = request.sampling.effective_output_tokens
+            cost = self.predictor.predict(request)
             if best_cost is None or cost < best_cost:
                 best_index, best_cost = index, cost
         return best_index
@@ -176,6 +185,10 @@ class Scheduler:
         self.config = config
         self.kv_cache = kv_cache
         self.policy = create_scheduler_policy(config.policy)
+        if config.predictor_error > 0 and hasattr(self.policy, "predictor"):
+            self.policy.predictor = DecodeLengthPredictor(
+                config.predictor_error, seed=config.predictor_seed
+            )
         self.waiting: Deque[LLMRequest] = deque()
         self.running: List[LLMRequest] = []
         self.preemption_count: int = 0
@@ -246,31 +259,38 @@ class Scheduler:
 
     def _schedule_decode(self, now: float) -> ScheduledStep:
         # Reserve KV space for the next token of every running sequence,
-        # preempting the newest sequences if the cache is exhausted.
+        # preempting the newest sequences if the cache is exhausted.  Victim
+        # and protection checks use identity sets, keeping this pass O(n)
+        # in the common (no-preemption) case instead of O(n^2).
         scheduled: List[LLMRequest] = []
+        protected: Set[int] = set()
+        preempted: Set[int] = set()
         for request in list(self.running):
-            if request not in self.running:
+            if id(request) in preempted:
                 # Already preempted as a victim earlier in this pass.
                 continue
+            protected.add(id(request))
             reserved = self.kv_cache.append_token(request, now=now)
             while not reserved:
-                victim = self._pick_preemption_victim(protected=scheduled + [request])
+                victim = self._pick_preemption_victim(protected=protected)
                 if victim is None:
                     break
                 self._preempt(victim, now)
+                preempted.add(id(victim))
                 reserved = self.kv_cache.append_token(request, now=now)
             if reserved:
                 scheduled.append(request)
             else:
                 # Could not make room even after preempting everything else.
                 self._preempt(request, now)
+                protected.discard(id(request))
         return ScheduledStep(kind=StepKind.DECODE, decodes=scheduled)
 
     def _pick_preemption_victim(
-        self, protected: List[LLMRequest]
+        self, protected: Set[int]
     ) -> Optional[LLMRequest]:
         for candidate in reversed(self.running):
-            if candidate not in protected:
+            if id(candidate) not in protected:
                 return candidate
         return None
 

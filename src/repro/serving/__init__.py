@@ -1,34 +1,47 @@
-"""Agent serving system: clusters, routers, workers, load generation, sweeps."""
+"""Agent serving system: pooled clusters, routers, autoscaling, load generation."""
 
+from repro.serving.autoscaler import Autoscaler
 from repro.serving.cluster import (
     Cluster,
     LeastLoadedRouter,
     PrefixAffinityRouter,
+    ReplicaPool,
     ROUTER_POLICIES,
     RoundRobinRouter,
     RouterPolicy,
+    ScalingEvent,
     available_router_policies,
     create_router_policy,
     register_router_policy,
 )
-from repro.serving.loadgen import ArrivalPlan, poisson_plan, sequential_plan, uniform_plan
+from repro.serving.loadgen import (
+    ArrivalPlan,
+    mixture_plan,
+    poisson_plan,
+    sequential_plan,
+    uniform_plan,
+)
 from repro.serving.server import AgentServer, ServingConfig, ServingResult, run_at_qps
 from repro.serving.sweep import QpsSweepResult, sweep_qps
 
 __all__ = [
     "AgentServer",
     "ArrivalPlan",
+    "Autoscaler",
     "Cluster",
     "LeastLoadedRouter",
     "PrefixAffinityRouter",
     "QpsSweepResult",
     "ROUTER_POLICIES",
+    "ReplicaPool",
     "RoundRobinRouter",
     "RouterPolicy",
+    "ScalingEvent",
     "ServingConfig",
     "ServingResult",
     "available_router_policies",
     "create_router_policy",
+    "mixture_plan",
     "poisson_plan",
     "register_router_policy",
     "run_at_qps",

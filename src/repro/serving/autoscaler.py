@@ -1,0 +1,127 @@
+"""Elastic-capacity controller: grows/shrinks a replica pool during a run.
+
+The :class:`Autoscaler` is a periodic simulation process watching one
+:class:`~repro.serving.cluster.ReplicaPool`.  Every ``check_interval_s`` it
+evaluates two load signals -- queue depth (pending requests per provisioned
+replica) and the rolling p95 of LLM-request latencies completed within the
+last ``p95_window_s`` -- and scales the pool between ``min_replicas`` and
+``max_replicas``:
+
+* **up** when queue depth exceeds ``scale_up_pending_per_replica`` or the
+  rolling p95 violates ``p95_slo_s`` (when set); the new replica pays for
+  capacity immediately but only takes traffic after ``warmup_s`` (cold-start
+  cost),
+* **down** when queue depth falls below ``scale_down_pending_per_replica``
+  and no SLO pressure remains; the drained replica stops accruing
+  replica-seconds at once.
+
+``cooldown_s`` suppresses flapping after either action.  Scaling decisions
+are recorded on the pool as :class:`~repro.serving.cluster.ScalingEvent` s,
+and the pool's replica-seconds give the cost side of the elasticity
+trade-off.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.metrics import percentile
+from repro.serving.cluster import ReplicaPool
+from repro.sim import Environment
+
+
+class Autoscaler:
+    """Feedback controller that elastically sizes one replica pool."""
+
+    def __init__(
+        self,
+        env: Environment,
+        pool: ReplicaPool,
+        min_replicas: int = 1,
+        max_replicas: int = 4,
+        check_interval_s: float = 2.0,
+        warmup_s: float = 5.0,
+        cooldown_s: float = 0.0,
+        scale_up_pending_per_replica: float = 4.0,
+        scale_down_pending_per_replica: float = 1.0,
+        p95_slo_s: Optional[float] = None,
+        p95_window_s: float = 30.0,
+    ):
+        if min_replicas < 1:
+            raise ValueError("min_replicas must be >= 1")
+        if max_replicas < min_replicas:
+            raise ValueError("max_replicas must be >= min_replicas")
+        if check_interval_s <= 0:
+            raise ValueError("check_interval_s must be > 0")
+        if scale_down_pending_per_replica >= scale_up_pending_per_replica:
+            raise ValueError("scale-down threshold must be below scale-up threshold")
+        self.env = env
+        self.pool = pool
+        self.min_replicas = min_replicas
+        self.max_replicas = max_replicas
+        self.check_interval_s = check_interval_s
+        self.warmup_s = warmup_s
+        self.cooldown_s = cooldown_s
+        self.scale_up_pending_per_replica = scale_up_pending_per_replica
+        self.scale_down_pending_per_replica = scale_down_pending_per_replica
+        self.p95_slo_s = p95_slo_s
+        self.p95_window_s = p95_window_s
+        self._last_action_time = float("-inf")
+        # The heartbeat timeout currently pending; exposed so the serving
+        # driver can tell autoscaler heartbeats apart from foreground work
+        # when checking run liveness.
+        self.sleep_event = None
+        self.process = env.process(self._run())
+
+    # -- control loop ---------------------------------------------------------
+    def _run(self):
+        while True:
+            self.sleep_event = self.env.timeout(self.check_interval_s)
+            yield self.sleep_event
+            self._evaluate()
+
+    def _evaluate(self) -> None:
+        now = self.env.now
+        if now - self._last_action_time < self.cooldown_s:
+            return
+        pool = self.pool
+        provisioned = pool.num_provisioned
+        pending_per_replica = pool.num_pending_requests / max(provisioned, 1)
+        # The rolling-p95 scan is only paid for when an SLO watches it.
+        rolling_p95 = 0.0 if self.p95_slo_s is None else self.rolling_p95(now)
+        slo_violated = self.p95_slo_s is not None and rolling_p95 > self.p95_slo_s
+        if provisioned < self.max_replicas and (
+            pending_per_replica > self.scale_up_pending_per_replica or slo_violated
+        ):
+            reason = (
+                f"p95={rolling_p95:.2f}s>SLO"
+                if slo_violated
+                else f"pending/replica={pending_per_replica:.2f}"
+            )
+            pool.grow(warmup_s=self.warmup_s, reason=reason)
+            self._last_action_time = now
+            return
+        if (
+            pool.num_active > self.min_replicas
+            and provisioned > self.min_replicas
+            and pending_per_replica < self.scale_down_pending_per_replica
+            and not slo_violated
+        ):
+            pool.shrink(reason=f"pending/replica={pending_per_replica:.2f}")
+            self._last_action_time = now
+
+    # -- load signals ---------------------------------------------------------
+    def rolling_p95(self, now: Optional[float] = None) -> float:
+        """p95 of LLM-request latencies completed within the rolling window."""
+        now = self.env.now if now is None else now
+        cutoff = now - self.p95_window_s
+        latencies: List[float] = []
+        for engine in self.pool.replicas:
+            # completed_requests is append-ordered by finish time, so the
+            # window is the tail of each replica's list.
+            for request in reversed(engine.completed_requests):
+                finished = request.timings.finished
+                if finished is None or finished < cutoff:
+                    break
+                latencies.append(request.timings.e2e_latency)
+        return percentile(latencies, 95.0)

@@ -1,32 +1,47 @@
-"""Multi-replica engine cluster with pluggable request routing.
+"""Heterogeneous replica fleet: named pools of engines behind pool-aware routing.
 
-A :class:`Cluster` runs N independent :class:`~repro.llm.engine.LLMEngine`
-replicas inside one simulation environment and routes every submitted LLM
-request to one of them through a :class:`RouterPolicy` (``round-robin`` |
-``least-loaded`` | ``prefix-affinity``).  The cluster duck-types the small
-engine surface :class:`~repro.llm.client.LLMClient` depends on (``submit``,
-``tokenizer``, ``model``), so agents and workers are oblivious to how many
-replicas serve them; with one replica and any router the cluster is
-behaviourally identical to a bare engine.
+The serving layer is organised as a :class:`Cluster` of named
+:class:`ReplicaPool` s.  Each pool owns its replicas (each an independent
+:class:`~repro.llm.engine.LLMEngine` with the pool's own
+:class:`~repro.llm.engine.EngineConfig` -- so pools may mix model sizes and
+scheduler policies), an intra-pool :class:`RouterPolicy` (``round-robin`` |
+``least-loaded`` | ``prefix-affinity``), and elastic capacity: pools can grow
+(with a warm-up delay before the new replica takes traffic) and shrink
+(draining replicas finish their in-flight work but stop receiving new
+requests), and account **replica-seconds** for cost reporting.
 
-Reporting methods aggregate the per-replica measurements (energy, runtime
-breakdown, KV memory, preemptions, prefix-cache hits) so serving experiments
-read cluster-level metrics exactly like single-engine ones.
+Cluster-level routing is two-staged: a request is first *classified* to a
+pool -- by its ``traffic_class`` metadata tag (stamped by the mixture load
+generator) or, failing that, by predicted decode length against the pools'
+declared bounds -- and may then *spill* to a less-loaded pool when the
+preferred pool is overloaded; inside the chosen pool the pool's router picks
+the replica.  With a single pool and any router the cluster is behaviourally
+identical to the flat replica list it replaces, so legacy single-pool
+experiments reproduce bit-for-bit.
+
+The cluster duck-types the small engine surface
+:class:`~repro.llm.client.LLMClient` depends on (``submit``, ``tokenizer``,
+``model``), so agents and workers are oblivious to how many pools or
+replicas serve them.  Reporting methods aggregate the per-replica
+measurements (energy, runtime breakdown, KV memory, preemptions,
+prefix-cache hits) across every pool.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Type
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Type
 
 from repro.llm.energy import PowerState
 from repro.llm.engine import EngineConfig, LLMEngine
+from repro.llm.predictor import DecodeLengthPredictor
 from repro.llm.request import LLMRequest
 from repro.registry import PolicyRegistry
 from repro.sim import Environment, Event
 
 
 # ---------------------------------------------------------------------------
-# Routing policies
+# Routing policies (intra-pool replica selection)
 # ---------------------------------------------------------------------------
 
 
@@ -118,15 +133,221 @@ def create_router_policy(name: str) -> RouterPolicy:
 
 
 # ---------------------------------------------------------------------------
+# Replica pools
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ScalingEvent:
+    """One elastic-capacity action taken on a pool."""
+
+    time: float
+    pool: str
+    action: str          # "grow" | "shrink"
+    num_provisioned: int  # replicas paying for capacity after the action
+    reason: str = ""
+
+
+class ReplicaPool:
+    """A named group of identical replicas with elastic capacity.
+
+    Every replica runs the pool's :class:`EngineConfig`; the pool's
+    :class:`RouterPolicy` picks among the *active* replicas.  ``grow`` adds
+    capacity with a ``warmup_s`` delay before the replica takes traffic
+    (replica-seconds accrue from the grow instant -- capacity is paid for
+    while it boots); ``shrink`` deactivates a replica, which drains its
+    in-flight requests but receives no new ones and stops accruing
+    replica-seconds.  Deactivated replicas are reused by later grows.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        config: EngineConfig,
+        name: str = "default",
+        num_replicas: int = 1,
+        router: "RouterPolicy | str" = "round-robin",
+        traffic_classes: Sequence[str] = (),
+        max_predicted_decode: Optional[int] = None,
+        accepts_spill: bool = True,
+    ):
+        if num_replicas < 1:
+            raise ValueError("num_replicas must be >= 1")
+        self.env = env
+        self.name = name
+        self.config = config
+        self.router: RouterPolicy = (
+            create_router_policy(router) if isinstance(router, str) else router
+        )
+        self.traffic_classes: Tuple[str, ...] = tuple(c.lower() for c in traffic_classes)
+        self.max_predicted_decode = max_predicted_decode
+        self.accepts_spill = accepts_spill
+
+        self.replicas: List[LLMEngine] = []
+        self.routed_counts: List[int] = []
+        self._active: List[bool] = []
+        # Per replica: when the current paid-capacity span started (grow or
+        # construction time), or None while deactivated.
+        self._span_start: List[Optional[float]] = []
+        self._accrued_replica_seconds = 0.0
+        self.scaling_events: List[ScalingEvent] = []
+        self.spilled_in = 0
+        self.spilled_out = 0
+        # Warm-up timeouts currently pending (background events for liveness
+        # checks, like the autoscaler heartbeat).
+        self.activation_timers: List[Event] = []
+        for _ in range(num_replicas):
+            index = self._new_replica()
+            self._active[index] = True
+            self._span_start[index] = self.env.now
+
+    # -- capacity -------------------------------------------------------------
+    def _new_replica(self) -> int:
+        self.replicas.append(LLMEngine(self.env, self.config))
+        self.routed_counts.append(0)
+        self._active.append(False)
+        self._span_start.append(None)
+        return len(self.replicas) - 1
+
+    @property
+    def num_replicas(self) -> int:
+        return len(self.replicas)
+
+    @property
+    def num_active(self) -> int:
+        return sum(self._active)
+
+    @property
+    def num_provisioned(self) -> int:
+        """Replicas currently paying for capacity (active or warming up)."""
+        return sum(1 for start in self._span_start if start is not None)
+
+    def active_indices(self) -> List[int]:
+        return [index for index, active in enumerate(self._active) if active]
+
+    def grow(self, warmup_s: float = 0.0, reason: str = "") -> int:
+        """Provision one replica; it takes traffic after ``warmup_s``."""
+        now = self.env.now
+        for index, start in enumerate(self._span_start):
+            if start is None:
+                break
+        else:
+            index = self._new_replica()
+        self._span_start[index] = now
+        if warmup_s > 0:
+            self.env.process(self._activate_after(index, warmup_s))
+        else:
+            self._active[index] = True
+        self.scaling_events.append(
+            ScalingEvent(now, self.name, "grow", self.num_provisioned, reason)
+        )
+        return index
+
+    def _activate_after(self, index: int, warmup_s: float):
+        timer = self.env.timeout(warmup_s)
+        self.activation_timers.append(timer)
+        yield timer
+        self.activation_timers.remove(timer)
+        if self._span_start[index] is not None:
+            self._active[index] = True
+
+    def shrink(self, reason: str = "") -> Optional[int]:
+        """Deactivate the active replica with the least in-flight work.
+
+        Refuses to drain the last active replica (returns ``None``): a pool
+        must always be able to serve the traffic routed to it.
+        """
+        candidates = self.active_indices()
+        if len(candidates) <= 1:
+            return None
+        index = min(
+            candidates,
+            key=lambda i: (self.replicas[i].num_pending_requests, -i),
+        )
+        now = self.env.now
+        self._active[index] = False
+        self._accrued_replica_seconds += now - self._span_start[index]
+        self._span_start[index] = None
+        self.scaling_events.append(
+            ScalingEvent(now, self.name, "shrink", self.num_provisioned, reason)
+        )
+        return index
+
+    def replica_seconds_until(self, now: Optional[float] = None) -> float:
+        """Total replica-seconds paid for up to ``now`` (cost accounting)."""
+        now = self.env.now if now is None else now
+        open_spans = sum(
+            now - start for start in self._span_start if start is not None
+        )
+        return self._accrued_replica_seconds + open_spans
+
+    # -- load & submission ----------------------------------------------------
+    @property
+    def num_pending_requests(self) -> int:
+        return sum(engine.num_pending_requests for engine in self.replicas)
+
+    @property
+    def pending_per_active_replica(self) -> float:
+        return self.num_pending_requests / max(self.num_active, 1)
+
+    def submit(self, request: LLMRequest) -> Event:
+        """Route ``request`` to one of the pool's active replicas."""
+        indices = self.active_indices()
+        if not indices:
+            # Unreachable through the public surface (construction activates
+            # >= 1 replica and shrink keeps the last one), kept as a guard.
+            raise RuntimeError(f"pool {self.name!r} has no active replicas")
+        subset = [self.replicas[i] for i in indices]
+        pick = self.router.select(request, subset)
+        if not 0 <= pick < len(subset):
+            raise ValueError(
+                f"router {self.router.name!r} picked invalid replica {pick}"
+            )
+        index = indices[pick]
+        self.routed_counts[index] += 1
+        request.metadata.setdefault("replica", index)
+        request.metadata.setdefault("pool", self.name)
+        return self.replicas[index].submit(request)
+
+    # -- reporting -------------------------------------------------------------
+    @property
+    def preemption_count(self) -> int:
+        return sum(engine.scheduler.preemption_count for engine in self.replicas)
+
+    def prefix_cache_hit_rate(self) -> float:
+        hits = sum(engine.kv_cache.cached_token_hits for engine in self.replicas)
+        seen = sum(engine.kv_cache.prompt_tokens_seen for engine in self.replicas)
+        if seen == 0:
+            return 0.0
+        return hits / seen
+
+    @property
+    def completed_requests(self) -> List[LLMRequest]:
+        finished: List[LLMRequest] = []
+        for engine in self.replicas:
+            finished.extend(engine.completed_requests)
+        return finished
+
+
+# ---------------------------------------------------------------------------
 # Cluster
 # ---------------------------------------------------------------------------
 
 
 class ClusterEnergySnapshot:
-    """Per-replica energy snapshots taken at one instant."""
+    """Per-engine energy snapshots taken at one instant (keyed by engine id)."""
 
-    def __init__(self, snapshots: List[object]):
+    def __init__(self, snapshots: Dict[int, object]):
         self.snapshots = snapshots
+
+    def for_engine(self, engine: LLMEngine):
+        """Snapshot for ``engine``; an empty baseline for engines born later."""
+        snapshot = self.snapshots.get(id(engine))
+        if snapshot is None:
+            from repro.llm.energy import EnergySnapshot
+
+            snapshot = EnergySnapshot(joules_by_state={}, seconds_by_state={})
+        return snapshot
 
 
 class ClusterEnergyWindow:
@@ -149,76 +370,174 @@ class ClusterEnergyWindow:
 
 
 class Cluster:
-    """N engine replicas behind one routing policy.
+    """Named replica pools behind two-stage (classify, then spill) routing.
 
     Exposes the same ``submit``/``tokenizer``/``model`` surface as a single
     :class:`LLMEngine`, so an :class:`~repro.llm.client.LLMClient` can be
-    bound to a cluster transparently.
+    bound to a cluster transparently.  The legacy constructor shape --
+    ``Cluster(env, config, num_replicas=N, router=...)`` -- builds one
+    ``"default"`` pool and behaves exactly like the historical flat replica
+    list; pass ``pools=[ReplicaPool(...), ...]`` for a heterogeneous fleet.
     """
 
     def __init__(
         self,
         env: Environment,
-        config: EngineConfig,
+        config: Optional[EngineConfig] = None,
         num_replicas: int = 1,
         router: "RouterPolicy | str" = "round-robin",
+        pools: Optional[Sequence[ReplicaPool]] = None,
+        predictor: Optional[DecodeLengthPredictor] = None,
+        pool_spill_threshold: Optional[float] = 4.0,
     ):
-        if num_replicas < 1:
-            raise ValueError("num_replicas must be >= 1")
         self.env = env
-        self.config = config
-        self.replicas: List[LLMEngine] = [
-            LLMEngine(env, config) for _ in range(num_replicas)
-        ]
-        self.router: RouterPolicy = (
-            create_router_policy(router) if isinstance(router, str) else router
-        )
-        self.routed_counts: List[int] = [0] * num_replicas
+        if pools:
+            names = [pool.name for pool in pools]
+            if len(set(names)) != len(names):
+                raise ValueError(f"duplicate pool names: {names}")
+            self.pools: Dict[str, ReplicaPool] = {pool.name: pool for pool in pools}
+        else:
+            if config is None:
+                raise ValueError("Cluster needs an EngineConfig or explicit pools")
+            self.pools = {
+                "default": ReplicaPool(
+                    env, config, name="default", num_replicas=num_replicas, router=router
+                )
+            }
+        self.predictor = predictor or DecodeLengthPredictor()
+        self.pool_spill_threshold = pool_spill_threshold
+
+    # -- pool access ----------------------------------------------------------
+    @property
+    def default_pool(self) -> ReplicaPool:
+        return next(iter(self.pools.values()))
+
+    def pool(self, name: str) -> ReplicaPool:
+        if name not in self.pools:
+            raise KeyError(f"unknown pool {name!r}; known: {sorted(self.pools)}")
+        return self.pools[name]
+
+    @property
+    def engines(self) -> Iterator[LLMEngine]:
+        for pool in self.pools.values():
+            yield from pool.replicas
 
     # -- engine-compatible surface ------------------------------------------
     @property
+    def replicas(self) -> List[LLMEngine]:
+        """Every replica across pools (pool declaration order)."""
+        return list(self.engines)
+
+    @property
+    def routed_counts(self) -> List[int]:
+        """Per-replica routed counts, flattened across pools."""
+        counts: List[int] = []
+        for pool in self.pools.values():
+            counts.extend(pool.routed_counts)
+        return counts
+
+    @property
+    def router(self) -> RouterPolicy:
+        return self.default_pool.router
+
+    @property
+    def config(self) -> EngineConfig:
+        return self.default_pool.config
+
+    @property
     def num_replicas(self) -> int:
-        return len(self.replicas)
+        return sum(pool.num_replicas for pool in self.pools.values())
 
     @property
     def model(self):
-        return self.replicas[0].model
+        return self.default_pool.replicas[0].model
 
     @property
     def tokenizer(self):
-        return self.replicas[0].tokenizer
-
-    def submit(self, request: LLMRequest) -> Event:
-        """Route ``request`` to a replica; returns its completion event."""
-        index = self.router.select(request, self.replicas)
-        if not 0 <= index < len(self.replicas):
-            raise ValueError(
-                f"router {self.router.name!r} picked invalid replica {index}"
-            )
-        self.routed_counts[index] += 1
-        request.metadata.setdefault("replica", index)
-        return self.replicas[index].submit(request)
+        return self.default_pool.replicas[0].tokenizer
 
     @property
     def num_pending_requests(self) -> int:
-        return sum(engine.num_pending_requests for engine in self.replicas)
+        return sum(pool.num_pending_requests for pool in self.pools.values())
+
+    @property
+    def scaling_events(self) -> List[ScalingEvent]:
+        events: List[ScalingEvent] = []
+        for pool in self.pools.values():
+            events.extend(pool.scaling_events)
+        events.sort(key=lambda event: event.time)
+        return events
+
+    def replica_seconds_until(self, now: Optional[float] = None) -> float:
+        return sum(pool.replica_seconds_until(now) for pool in self.pools.values())
+
+    # -- routing --------------------------------------------------------------
+    def submit(self, request: LLMRequest) -> Event:
+        """Classify ``request`` to a pool (with spill) and route it there."""
+        pool = self._classify(request)
+        pool = self._maybe_spill(pool, request)
+        return pool.submit(request)
+
+    def _classify(self, request: LLMRequest) -> ReplicaPool:
+        pools = list(self.pools.values())
+        if len(pools) == 1:
+            return pools[0]
+        traffic_class = request.metadata.get("traffic_class")
+        if traffic_class:
+            key = str(traffic_class).lower()
+            for pool in pools:
+                if key in pool.traffic_classes:
+                    return pool
+        bounded = [pool for pool in pools if pool.max_predicted_decode is not None]
+        if bounded:
+            predicted = self.predictor.predict(request)
+            for pool in sorted(bounded, key=lambda p: p.max_predicted_decode):
+                if predicted <= pool.max_predicted_decode:
+                    return pool
+            unbounded = [pool for pool in pools if pool.max_predicted_decode is None]
+            if unbounded:
+                return unbounded[0]
+            return max(bounded, key=lambda p: p.max_predicted_decode)
+        return self.default_pool
+
+    def _maybe_spill(self, chosen: ReplicaPool, request: LLMRequest) -> ReplicaPool:
+        """Overflow to a less-loaded pool when ``chosen`` is overloaded."""
+        if self.pool_spill_threshold is None or len(self.pools) == 1:
+            return chosen
+        eligible = [
+            pool
+            for pool in self.pools.values()
+            if pool.accepts_spill or pool is chosen
+        ]
+        if len(eligible) < 2:
+            return chosen
+        loads = {pool.name: pool.pending_per_active_replica for pool in eligible}
+        best = min(eligible, key=lambda pool: loads[pool.name])
+        if best is not chosen and loads[chosen.name] - loads[best.name] > self.pool_spill_threshold:
+            chosen.spilled_out += 1
+            best.spilled_in += 1
+            request.metadata.setdefault("spilled_from", chosen.name)
+            return best
+        return chosen
 
     # -- aggregated reporting -------------------------------------------------
     def energy_snapshot(self) -> ClusterEnergySnapshot:
-        return ClusterEnergySnapshot([engine.energy.snapshot() for engine in self.replicas])
+        return ClusterEnergySnapshot(
+            {id(engine): engine.energy.snapshot() for engine in self.engines}
+        )
 
     def energy_since(self, snapshot: ClusterEnergySnapshot) -> ClusterEnergyWindow:
         return ClusterEnergyWindow(
             [
-                engine.energy.since(engine_snapshot)
-                for engine, engine_snapshot in zip(self.replicas, snapshot.snapshots)
+                engine.energy.since(snapshot.for_engine(engine))
+                for engine in self.engines
             ]
         )
 
     def runtime_breakdown(self, start: float = 0.0, end: Optional[float] = None) -> Dict[str, float]:
         """Summed seconds per step kind across replicas within ``[start, end]``."""
         combined: Dict[str, float] = {"prefill": 0.0, "decode": 0.0, "idle": 0.0}
-        for engine in self.replicas:
+        for engine in self.engines:
             for kind, seconds in engine.runtime_breakdown(start, end).items():
                 combined[kind] = combined.get(kind, 0.0) + seconds
         return combined
@@ -227,7 +546,7 @@ class Cluster:
         """Cluster-wide KV footprint: per-replica averages and maxima summed."""
         average = 0.0
         maximum = 0.0
-        for engine in self.replicas:
+        for engine in self.engines:
             stats = engine.kv_memory_stats(start, end)
             average += stats["average_bytes"]
             maximum += stats["max_bytes"]
@@ -235,12 +554,12 @@ class Cluster:
 
     @property
     def preemption_count(self) -> int:
-        return sum(engine.scheduler.preemption_count for engine in self.replicas)
+        return sum(pool.preemption_count for pool in self.pools.values())
 
     def prefix_cache_hit_rate(self) -> float:
         """Token-weighted hit rate across every replica's prefix cache."""
-        hits = sum(engine.kv_cache.cached_token_hits for engine in self.replicas)
-        seen = sum(engine.kv_cache.prompt_tokens_seen for engine in self.replicas)
+        hits = sum(engine.kv_cache.cached_token_hits for engine in self.engines)
+        seen = sum(engine.kv_cache.prompt_tokens_seen for engine in self.engines)
         if seen == 0:
             return 0.0
         return hits / seen
@@ -248,6 +567,6 @@ class Cluster:
     @property
     def completed_requests(self) -> List[LLMRequest]:
         finished: List[LLMRequest] = []
-        for engine in self.replicas:
+        for engine in self.engines:
             finished.extend(engine.completed_requests)
         return finished

@@ -3,12 +3,16 @@
 The paper drives its serving system with requests sampled uniformly from the
 benchmark and arriving according to a Poisson process at a target QPS; this
 module produces those arrival schedules and the accompanying task samples.
+:func:`mixture_plan` generalises the single-workload generators to the
+datacenter scenario (paper Table IV): one arrival process whose requests are
+drawn from a weighted mixture of traffic classes (e.g. chatbot + agent), each
+request tagged with its class so pool-aware routers can steer it.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.sim.distributions import DeterministicArrivals, PoissonArrivals, RandomStream
 from repro.workloads.base import Task, Workload
@@ -16,16 +20,30 @@ from repro.workloads.base import Task, Workload
 
 @dataclass(frozen=True)
 class ArrivalPlan:
-    """A schedule of (arrival_time, task) pairs for one serving run."""
+    """A schedule of (arrival_time, task) pairs for one serving run.
+
+    ``traffic_classes`` optionally labels each arrival with the traffic class
+    it was sampled from (mixture plans); single-workload plans leave it
+    ``None``.
+    """
 
     arrival_times: List[float]
     tasks: List[Task]
+    traffic_classes: Optional[List[str]] = None
 
     def __post_init__(self) -> None:
         if len(self.arrival_times) != len(self.tasks):
             raise ValueError("arrival_times and tasks must have the same length")
+        if self.traffic_classes is not None and len(self.traffic_classes) != len(self.tasks):
+            raise ValueError("traffic_classes must label every task")
         if any(b < a for a, b in zip(self.arrival_times, self.arrival_times[1:])):
             raise ValueError("arrival times must be non-decreasing")
+
+    def labels(self) -> List[Optional[str]]:
+        """Per-arrival traffic-class labels (``None`` s for unlabelled plans)."""
+        if self.traffic_classes is None:
+            return [None] * len(self.tasks)
+        return list(self.traffic_classes)
 
     def __len__(self) -> int:
         return len(self.tasks)
@@ -76,3 +94,53 @@ def sequential_plan(workload: Workload, num_requests: int) -> ArrivalPlan:
     """All requests available at time zero (used for closed-loop sequential runs)."""
     tasks = workload.sample_tasks(num_requests)
     return ArrivalPlan(arrival_times=[0.0] * num_requests, tasks=tasks)
+
+
+def mixture_plan(
+    components: Sequence[Tuple[str, Workload, float]],
+    qps: float,
+    num_requests: int,
+    stream: RandomStream,
+    task_pool_size: int = 64,
+    process: str = "poisson",
+) -> ArrivalPlan:
+    """One arrival process over a weighted mixture of traffic classes.
+
+    ``components`` is a sequence of ``(label, workload, weight)``; every
+    arrival first draws its traffic class by weight, then a task (with
+    replacement) from that class's pool, and the plan tags the arrival with
+    the class label so the cluster can route it to the right pool.
+    """
+    if num_requests < 1:
+        raise ValueError("num_requests must be >= 1")
+    if not components:
+        raise ValueError("mixture needs at least one traffic class")
+    total_weight = sum(weight for _, _, weight in components)
+    if total_weight <= 0:
+        raise ValueError("mixture weights must sum to > 0")
+    labels = [label for label, _, _ in components]
+    probabilities = [weight / total_weight for _, _, weight in components]
+    pools: Dict[str, List[Task]] = {
+        label: workload.sample_tasks(max(task_pool_size, 1))
+        for label, workload, _ in components
+    }
+    if process == "poisson":
+        arrivals = PoissonArrivals(qps, stream.substream("arrivals")).arrival_times(
+            num_requests
+        )
+    elif process == "uniform":
+        arrivals = DeterministicArrivals(qps).arrival_times(num_requests)
+    else:
+        raise ValueError(f"mixture plans support poisson/uniform, not {process!r}")
+    class_stream = stream.substream("class-pick")
+    pick_streams = {
+        label: stream.substream(f"task-pick/{label}") for label in labels
+    }
+    chosen: List[str] = []
+    tasks: List[Task] = []
+    for _ in range(num_requests):
+        label = class_stream.choice(labels, p=probabilities)
+        pool = pools[label]
+        tasks.append(pool[pick_streams[label].integers(0, len(pool))])
+        chosen.append(label)
+    return ArrivalPlan(arrival_times=arrivals, tasks=tasks, traffic_classes=chosen)

@@ -15,10 +15,18 @@ delay is reported via :attr:`ServingResult.admission_delays`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.agents import AgentConfig, AgentRunResult
-from repro.core.metrics import GpuRuntimeBreakdown, LatencyStats, mean, percentile
+from repro.core.metrics import (
+    GpuRuntimeBreakdown,
+    LatencyStats,
+    PoolStats,
+    TrafficClassStats,
+    mean,
+    percentile,
+)
+from repro.serving.cluster import ScalingEvent
 from repro.serving.loadgen import ArrivalPlan
 
 
@@ -60,6 +68,15 @@ class ServingResult:
     # Per-request delay between arrival and worker admission (all zero unless
     # max_concurrency gated the door).
     admission_delays: List[float] = field(default_factory=list)
+    # -- fleet reporting (single-pool runs have one "default" entry) ---------
+    # Engine-level metrics per replica pool over the measured window.
+    pool_stats: Dict[str, PoolStats] = field(default_factory=dict)
+    # Request-level metrics per traffic class (empty without a mixture).
+    class_stats: Dict[str, TrafficClassStats] = field(default_factory=dict)
+    # Replica-seconds paid for across every pool (cost accounting).
+    replica_seconds: float = 0.0
+    # Elastic-capacity actions taken during the run (empty without autoscaling).
+    scaling_events: List[ScalingEvent] = field(default_factory=list)
 
     @property
     def num_completed(self) -> int:

@@ -307,6 +307,10 @@ class Environment:
         """Time of the next scheduled event (``inf`` when the queue is empty)."""
         return self._queue[0][0] if self._queue else float("inf")
 
+    def pending_events(self) -> list[Event]:
+        """The currently scheduled events (unordered); for liveness checks."""
+        return [event for _, _, _, event in self._queue]
+
     def step(self) -> None:
         """Process the next scheduled event."""
         if not self._queue:

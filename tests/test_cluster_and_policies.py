@@ -227,3 +227,154 @@ class TestClusterAggregation:
         assert result.energy_wh > 0
         assert result.kv_max_bytes > 0
         assert 0.0 <= result.prefix_cache_hit_rate <= 1.0
+
+
+# ---------------------------------------------------------------------------
+# Replica pools: classification, cross-pool spill, KV pressure
+# ---------------------------------------------------------------------------
+
+
+def tiny_kv_engine_config(num_blocks: int = 9) -> EngineConfig:
+    """An 8B engine whose KV cache holds only ``num_blocks`` blocks."""
+    from repro.llm.hardware import ClusterSpec
+    from repro.llm.models import LLAMA_3_1_8B
+
+    model = LLAMA_3_1_8B
+    target_bytes = model.kv_bytes_per_token * 16 * num_blocks
+    utilization = (model.weight_bytes + 2.0e9 + target_bytes) / 40e9
+    return EngineConfig(
+        model=model,
+        cluster=ClusterSpec(gpu_memory_utilization=utilization),
+    )
+
+
+class TestReplicaPools:
+    def _two_pool_cluster(self, spill_threshold=2.0, **pool_kwargs):
+        from repro.serving import ReplicaPool
+
+        env = Environment()
+        pool_a = ReplicaPool(
+            env, EngineConfig(), name="a", num_replicas=2,
+            router="prefix-affinity", traffic_classes=("a",), **pool_kwargs,
+        )
+        pool_b = ReplicaPool(
+            env, EngineConfig(), name="b", num_replicas=2,
+            router="least-loaded", traffic_classes=("b",),
+        )
+        cluster = Cluster(env, pools=[pool_a, pool_b], pool_spill_threshold=spill_threshold)
+        return env, cluster, pool_a, pool_b
+
+    def test_traffic_class_routes_to_claiming_pool(self):
+        _, cluster, pool_a, pool_b = self._two_pool_cluster()
+        cluster.submit(make_request(stream="x1", priority=0.0))  # untagged -> default
+        request = make_request(stream="x2")
+        request.metadata["traffic_class"] = "b"
+        cluster.submit(request)
+        assert request.metadata["pool"] == "b"
+        assert sum(pool_b.routed_counts) == 1
+        assert sum(pool_a.routed_counts) == 1  # the untagged default
+
+    def test_predicted_decode_length_classification(self):
+        from repro.serving import ReplicaPool
+
+        env = Environment()
+        short = ReplicaPool(env, EngineConfig(), name="short", max_predicted_decode=32)
+        long_pool = ReplicaPool(env, EngineConfig(), name="long")
+        cluster = Cluster(env, pools=[short, long_pool], pool_spill_threshold=None)
+        small = make_request(stream="s", output_tokens=8)
+        big = make_request(stream="l", output_tokens=500)
+        cluster.submit(small)
+        cluster.submit(big)
+        assert small.metadata["pool"] == "short"
+        assert big.metadata["pool"] == "long"
+
+    def test_prefix_affinity_sticky_within_pool_then_spills_across_pools(self):
+        _, cluster, pool_a, pool_b = self._two_pool_cluster(spill_threshold=2.0)
+
+        def tagged(stream):
+            request = make_request(stream=stream)
+            request.metadata["traffic_class"] = "a"
+            return request
+
+        # Same-prefix requests stick to one replica of the claiming pool.
+        first, second = tagged("hot"), tagged("hot")
+        cluster.submit(first)
+        cluster.submit(second)
+        assert first.metadata["pool"] == second.metadata["pool"] == "a"
+        assert first.metadata["replica"] == second.metadata["replica"]
+        # Keep loading the claiming pool: once it is spill_threshold ahead of
+        # pool b (per active replica), overflow crosses pools, and the system
+        # settles into balance instead of drowning the preferred pool.
+        requests = [tagged(f"fill{index}") for index in range(10)]
+        for request in requests:
+            cluster.submit(request)
+        spilled = [r for r in requests if r.metadata.get("spilled_from") == "a"]
+        assert spilled, "expected cross-pool spill under overload"
+        assert all(r.metadata["pool"] == "b" for r in spilled)
+        assert pool_a.spilled_out == len(spilled)
+        assert pool_b.spilled_in == len(spilled)
+        # Spill rebalances: the pools end within the threshold of each other.
+        assert (
+            pool_a.pending_per_active_replica - pool_b.pending_per_active_replica
+            <= cluster.pool_spill_threshold + 1
+        )
+
+    def test_pinned_pool_never_receives_spill(self):
+        from repro.serving import ReplicaPool
+
+        env = Environment()
+        pool_a = ReplicaPool(env, EngineConfig(), name="a", traffic_classes=("a",))
+        pool_b = ReplicaPool(
+            env, EngineConfig(), name="b", traffic_classes=("b",), accepts_spill=False
+        )
+        cluster = Cluster(env, pools=[pool_a, pool_b], pool_spill_threshold=1.0)
+        for index in range(6):
+            request = make_request(stream=f"r{index}")
+            request.metadata["traffic_class"] = "a"
+            cluster.submit(request)
+            assert request.metadata["pool"] == "a"
+        assert pool_b.spilled_in == 0
+
+    def test_preemption_under_kv_pressure_in_each_pool(self):
+        from repro.serving import ReplicaPool
+
+        env = Environment()
+        config = tiny_kv_engine_config(num_blocks=9)
+        pool_a = ReplicaPool(env, config, name="a", traffic_classes=("a",))
+        pool_b = ReplicaPool(env, config, name="b", traffic_classes=("b",))
+        cluster = Cluster(env, pools=[pool_a, pool_b], pool_spill_threshold=None)
+        events = []
+        for label in ("a", "b"):
+            for index in range(2):
+                request = make_request(
+                    prompt_tokens=64, output_tokens=64, stream=f"{label}{index}"
+                )
+                request.metadata["traffic_class"] = label
+                events.append(cluster.submit(request))
+        env.run(env.all_of(events))
+        # Both pools hit KV pressure independently and recovered.
+        assert pool_a.preemption_count >= 1
+        assert pool_b.preemption_count >= 1
+        assert cluster.preemption_count == (
+            pool_a.preemption_count + pool_b.preemption_count
+        )
+        assert len(cluster.completed_requests) == 4
+
+    def test_replica_seconds_accounting(self):
+        from repro.serving import ReplicaPool
+
+        env = Environment()
+        pool = ReplicaPool(env, EngineConfig(), name="p", num_replicas=2)
+        assert pool.replica_seconds_until(10.0) == pytest.approx(20.0)
+        pool.shrink()
+        assert pool.num_active == 1
+        # The last active replica can never be drained.
+        assert pool.shrink() is None
+        assert pool.num_active == 1
+        # A drained replica stops accruing; growing reuses it with warm-up.
+        assert pool.replica_seconds_until(10.0) == pytest.approx(10.0)
+        index = pool.grow(warmup_s=5.0)
+        assert pool.num_provisioned == 2
+        assert pool._active[index] is False  # still warming up
+        assert pool.replica_seconds_until(10.0) == pytest.approx(20.0)
+        assert [event.action for event in pool.scaling_events] == ["shrink", "grow"]
