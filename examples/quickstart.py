@@ -20,7 +20,21 @@ to a heterogeneous elastic fleet (see ``examples/mixed_fleet.py``):
   the paper's Table IV datacenter scenario) through one arrival process,
 * ``autoscaler=AutoscalerSpec(pool=..., min_replicas=..., max_replicas=...,
   warmup_s=...)`` grows/shrinks a pool from load signals (queue depth,
-  rolling p95) at a replica-seconds cost reported in the ``ResultSet``.
+  rolling p95) at a replica-seconds cost reported in the ``ResultSet``,
+* ``admission=AdmissionSpec(policy=..., per_class=(...,))`` guards the
+  serving door with a policy from the ``repro.serving.admission`` registry
+  (``unlimited`` | ``concurrency`` | ``token-bucket`` | ``slo-shed``), with
+  per-traffic-class overrides -- e.g. shed agent load whenever the chat
+  class's projected p95 would violate the SLO declared in
+  ``MeasurementSpec(slo_p95_s=... / class_slos=...)``.  The ``ResultSet``
+  then reports per-class rejection rates, shed-token counts, and SLO
+  attainment (see ``examples/admission.py``).
+
+Performance trajectory: CI's ``bench`` lane replays the ``benchmarks/``
+suite under pytest-benchmark, uploads the run as a ``BENCH_ci.json``
+artifact, and fails on a >25% mean regression against the committed
+``benchmarks/BENCH_baseline.json`` -- refresh that baseline when a PR
+intentionally changes performance.
 
 Run with::
 

@@ -1,5 +1,9 @@
 """Experiment and reporting layer: one function per paper table/figure."""
 
+from repro.analysis.admission import (
+    AdmissionStudyResult,
+    admission_study,
+)
 from repro.analysis.reporting import format_table, format_value, print_table
 from repro.analysis.figures import (
     CharacterizationMatrix,
@@ -24,8 +28,10 @@ from repro.analysis.figures import (
 from repro.analysis.tables import table1, table2, table3, table4
 
 __all__ = [
+    "AdmissionStudyResult",
     "CharacterizationMatrix",
     "MixedFleetResult",
+    "admission_study",
     "characterization_matrix",
     "default_config",
     "mixed_fleet",

@@ -1,0 +1,199 @@
+"""Admission-policy study under the Table IV mixed chat+agent burst.
+
+The paper's datacenter scenario assumes interactive chat latency survives
+while agentic traffic saturates the fleet.  This study drives one shared
+replica pool with a weighted chat+agent mixture at burst load and sweeps the
+admission policy guarding the door:
+
+* ``unlimited``    -- the open door (no protection),
+* ``concurrency``  -- a global in-flight cap (the legacy blunt gate),
+* ``token-bucket`` -- the agent class rate-limited to a fixed budget,
+* ``slo-shed``     -- agent work shed whenever the projected chat p95
+  violates the SLO declared in ``MeasurementSpec`` (deadline-aware).
+
+Every spec shares the scheduler, router, seed, and arrival plan, so the
+per-policy deltas in chat p95 / SLO attainment and agent rejection rate are
+attributable to admission control alone.  ``examples/admission.py`` prints
+the resulting table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.agents import AgentConfig
+from repro.analysis.reporting import format_table
+from repro.api import (
+    AdmissionSpec,
+    ArrivalSpec,
+    ExperimentSpec,
+    MeasurementSpec,
+    ResultSet,
+    WeightedWorkload,
+    run_experiment,
+)
+
+#: Policies the study sweeps by default, in presentation order.
+DEFAULT_POLICIES: Tuple[str, ...] = (
+    "unlimited",
+    "concurrency",
+    "token-bucket",
+    "slo-shed",
+)
+
+
+@dataclass
+class AdmissionStudyResult:
+    """Per-policy outcomes of the admission sweep (chat SLO vs agent shed)."""
+
+    outcomes: Dict[str, ResultSet]
+    chat_slo_s: float
+
+    def rows(self) -> List[Dict[str, object]]:
+        rows: List[Dict[str, object]] = []
+        for policy, outcome in self.outcomes.items():
+            chat = outcome.class_stats.get("chat")
+            agent = outcome.class_stats.get("agent")
+            rows.append(
+                {
+                    "policy": policy,
+                    "chat_p95_s": chat.p95_latency_s if chat else 0.0,
+                    "chat_slo_met": bool(
+                        chat and chat.p95_latency_s <= self.chat_slo_s
+                    ),
+                    "chat_attainment": (
+                        chat.slo_attainment if chat and chat.slo_attainment is not None else 0.0
+                    ),
+                    "agent_p95_s": agent.p95_latency_s if agent else 0.0,
+                    "agent_rejected": agent.rejected if agent else 0,
+                    "agent_rejection_rate": agent.rejection_rate if agent else 0.0,
+                    "shed_tokens": outcome.shed_tokens,
+                    "completed": outcome.num_completed,
+                    "energy_wh": outcome.energy_wh,
+                }
+            )
+        return rows
+
+    def chat_slo_held(self, policy: str) -> bool:
+        """Did ``policy`` keep the measured chat p95 within the declared SLO?"""
+        chat = self.outcomes[policy].class_stats.get("chat")
+        return bool(chat and chat.p95_latency_s <= self.chat_slo_s)
+
+    def format(self) -> str:
+        parts = [
+            format_table(
+                self.rows(),
+                f"Admission policies under the chat+agent burst "
+                f"(chat p95 SLO {self.chat_slo_s:.0f}s)",
+            )
+        ]
+        shed = self.outcomes.get("slo-shed")
+        if shed is not None:
+            parts.append(
+                format_table(
+                    shed.per_class_admission(),
+                    "slo-shed door accounting (per traffic class)",
+                )
+            )
+        return "\n\n".join(parts)
+
+
+def _admission_for(
+    policy: str,
+    max_concurrency: int,
+    agent_rate_qps: float,
+    shed_window_s: float,
+) -> Optional[AdmissionSpec]:
+    """The admission spec the study uses for one swept policy."""
+    if policy == "unlimited":
+        return None
+    if policy == "concurrency":
+        return AdmissionSpec(policy="concurrency", max_concurrency=max_concurrency)
+    if policy == "token-bucket":
+        # Only the agent class is rate-limited; chat stays on the open door.
+        return AdmissionSpec(
+            per_class=(
+                (
+                    "agent",
+                    AdmissionSpec(
+                        policy="token-bucket",
+                        rate_qps=agent_rate_qps,
+                        burst=2,
+                        overload_action="reject",
+                    ),
+                ),
+            )
+        )
+    if policy == "slo-shed":
+        # Shed agent work whenever the projected chat p95 violates the SLO
+        # declared in MeasurementSpec (inherited via protect_class).
+        return AdmissionSpec(
+            per_class=(
+                (
+                    "agent",
+                    AdmissionSpec(
+                        policy="slo-shed",
+                        protect_class="chat",
+                        window_s=shed_window_s,
+                        enter_factor=0.75,
+                        exit_factor=0.5,
+                    ),
+                ),
+            )
+        )
+    raise ValueError(f"admission study does not know policy {policy!r}")
+
+
+def admission_study(
+    qps: float = 10.0,
+    num_requests: int = 70,
+    chat_slo_s: float = 16.0,
+    chat_weight: float = 0.5,
+    agent_weight: float = 0.5,
+    replicas: int = 2,
+    warmup_requests: int = 10,
+    max_concurrency: int = 8,
+    agent_rate_qps: float = 0.3,
+    shed_window_s: float = 20.0,
+    policies: Sequence[str] = DEFAULT_POLICIES,
+    seed: int = 0,
+) -> AdmissionStudyResult:
+    """Sweep admission policies on a shared pool under a chat+agent burst.
+
+    The mixture, arrival burst, scheduler (SJF by predicted decode), router,
+    and seed are identical across policies; ``MeasurementSpec`` declares the
+    chat p95 SLO and opens the measured window after ``warmup_requests``
+    completions so the cold ramp does not dilute the steady-state comparison.
+    """
+    base = ExperimentSpec(
+        workloads=(
+            WeightedWorkload(
+                agent="chatbot", workload="sharegpt", weight=chat_weight, name="chat"
+            ),
+            WeightedWorkload(
+                agent="react", workload="hotpotqa", weight=agent_weight, name="agent"
+            ),
+        ),
+        replicas=replicas,
+        router="least-loaded",
+        scheduler="sjf-by-predicted-decode",
+        agent_config=AgentConfig(max_iterations=5),
+        arrival=ArrivalSpec(
+            process="poisson", qps=qps, num_requests=num_requests, task_pool_size=10
+        ),
+        measurement=MeasurementSpec(
+            class_slos=(("chat", chat_slo_s),), warmup_requests=warmup_requests
+        ),
+        max_decode_chunk=8,
+        seed=seed,
+    )
+    outcomes: Dict[str, ResultSet] = {}
+    for policy in policies:
+        spec = base.with_overrides(
+            admission=_admission_for(
+                policy, max_concurrency, agent_rate_qps, shed_window_s
+            )
+        )
+        outcomes[policy] = run_experiment(spec)
+    return AdmissionStudyResult(outcomes=outcomes, chat_slo_s=chat_slo_s)

@@ -44,6 +44,7 @@ from repro.api.runners import (
 )
 from repro.api.spec import (
     ARRIVAL_PROCESSES,
+    AdmissionSpec,
     ArrivalSpec,
     AutoscalerSpec,
     ExperimentSpec,
@@ -54,6 +55,7 @@ from repro.api.spec import (
 
 __all__ = [
     "ARRIVAL_PROCESSES",
+    "AdmissionSpec",
     "ArrivalSpec",
     "AutoscalerSpec",
     "ExperimentSpec",

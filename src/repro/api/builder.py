@@ -18,10 +18,16 @@ from typing import Dict, Optional
 
 from repro.agents import create_agent
 from repro.agents.base import BaseAgent
-from repro.api.spec import ExperimentSpec, PoolSpec, WeightedWorkload
+from repro.api.spec import AdmissionSpec, ExperimentSpec, PoolSpec, WeightedWorkload
 from repro.llm import EngineConfig, LLMClient, SchedulerConfig
 from repro.llm.models import get_model
 from repro.llm.predictor import DecodeLengthPredictor
+from repro.serving.admission import (
+    AdmissionController,
+    AdmissionPolicy,
+    ClusterLoadProbe,
+    build_admission_policy,
+)
 from repro.serving.autoscaler import Autoscaler
 from repro.serving.cluster import Cluster, ReplicaPool
 from repro.sim import Environment, RandomStream
@@ -58,6 +64,7 @@ class System:
     stream: RandomStream
     traffic: Dict[str, TrafficClassRuntime] = field(default_factory=dict)
     autoscaler: Optional[Autoscaler] = None
+    admission: Optional[AdmissionController] = None
 
     def build_toolset(self) -> Optional[ToolSet]:
         """Fresh toolset bound to this system (``None`` for tool-less agents)."""
@@ -185,6 +192,73 @@ class SystemBuilder:
             )
         return traffic
 
+    def admission_spec(self) -> AdmissionSpec:
+        """The effective admission spec (legacy fields mapped onto the registry).
+
+        ``admission=None`` preserves the historical door behaviour exactly:
+        the enforced concurrency gate when ``max_concurrency`` is set,
+        otherwise the open door.
+        """
+        if self.spec.admission is not None:
+            return self.spec.admission
+        if self.spec.max_concurrency is not None:
+            return AdmissionSpec(
+                policy="concurrency", max_concurrency=self.spec.max_concurrency
+            )
+        return AdmissionSpec()
+
+    def _admission_policy(
+        self, sub: AdmissionSpec, probe: ClusterLoadProbe
+    ) -> AdmissionPolicy:
+        """One policy instance from one (sub-)spec, with inherited defaults."""
+        slo = sub.slo_p95_s
+        if slo is None and sub.policy.lower() == "slo-shed":
+            slo = self.spec.measurement.slo_for(sub.protect_class or None)
+        return build_admission_policy(
+            sub.policy,
+            max_concurrency=(
+                sub.max_concurrency
+                if sub.max_concurrency is not None
+                else self.spec.max_concurrency
+            ),
+            rate_qps=sub.rate_qps,
+            burst=sub.burst,
+            overload_action=sub.overload_action,
+            slo_p95_s=slo,
+            window_s=sub.window_s,
+            enter_factor=sub.enter_factor,
+            exit_factor=sub.exit_factor,
+            protect_class=sub.protect_class or None,
+            load_probe=probe,
+        )
+
+    def build_admission(self, cluster: Cluster) -> AdmissionController:
+        """Assemble the door controller: per-class policies + pool attribution.
+
+        Each traffic class with an override gets its own policy instance (so
+        bucket and hysteresis state are per class); rejections are attributed
+        to the pool that claims the class (the default pool otherwise).
+        Policies read the cluster's enqueued backlog through the shared
+        :class:`ClusterLoadProbe`, so door decisions see fleet load before
+        any work is enqueued.
+        """
+        spec = self.admission_spec()
+        probe = ClusterLoadProbe(cluster)
+        class_policies = {
+            label: self._admission_policy(sub, probe)
+            for label, sub in spec.per_class
+        }
+        class_pools: Dict[str, ReplicaPool] = {}
+        for pool in cluster.pools.values():
+            for traffic_class in pool.traffic_classes:
+                class_pools.setdefault(traffic_class, pool)
+        return AdmissionController(
+            default_policy=self._admission_policy(spec, probe),
+            class_policies=class_policies,
+            class_pools=class_pools,
+            default_pool=cluster.default_pool,
+        )
+
     def build_autoscaler(self, env: Environment, cluster: Cluster) -> Optional[Autoscaler]:
         scaling = self.spec.autoscaler
         if scaling is None:
@@ -218,6 +292,7 @@ class SystemBuilder:
         stream = RandomStream(spec.seed, self.stream_name())
         traffic = self.build_traffic()
         autoscaler = self.build_autoscaler(env, cluster)
+        admission = self.build_admission(cluster)
         return System(
             spec=spec,
             env=env,
@@ -227,4 +302,5 @@ class SystemBuilder:
             stream=stream,
             traffic=traffic,
             autoscaler=autoscaler,
+            admission=admission,
         )

@@ -133,6 +133,48 @@ class ResultSet:
         """One flat row per traffic class of the workload mixture."""
         return [stats.as_dict() for stats in self.class_stats.values()]
 
+    # -- admission control ------------------------------------------------------
+    @property
+    def admission_stats(self) -> Dict[str, Any]:
+        """Per-class door accounting (name -> ClassAdmissionStats; serving only)."""
+        if self.serving is None:
+            return {}
+        return self.serving.admission_stats
+
+    @property
+    def num_rejected(self) -> int:
+        """Requests the admission policy shed instead of serving."""
+        if self.serving is None:
+            return 0
+        return self.serving.num_rejected
+
+    @property
+    def rejection_rate(self) -> float:
+        """Shed fraction of the offered load (0.0 with an open door)."""
+        if self.serving is None:
+            return 0.0
+        return self.serving.rejection_rate
+
+    @property
+    def shed_tokens(self) -> float:
+        """Estimated decode tokens the fleet avoided by shedding requests."""
+        if self.serving is None:
+            return 0.0
+        return self.serving.shed_tokens
+
+    @property
+    def slo_attainment(self) -> Optional[float]:
+        """Fraction of measured requests meeting the experiment-wide p95 SLO."""
+        if self.serving is None:
+            return None
+        return self.serving.slo_attainment
+
+    def per_class_admission(self) -> List[Dict[str, Any]]:
+        """One flat row per traffic class of the door accounting."""
+        if self.serving is None:
+            return []
+        return self.serving.per_class_admission()
+
     # -- reporting -------------------------------------------------------------
     def summary(self) -> Dict[str, Any]:
         """Flat metric dict, convenient for tables and JSON dumps."""
@@ -150,4 +192,7 @@ class ResultSet:
         }
         if self.serving is not None:
             summary["replica_seconds"] = self.replica_seconds
+            summary["rejection_rate"] = self.rejection_rate
+            if self.slo_attainment is not None:
+                summary["slo_attainment"] = self.slo_attainment
         return summary

@@ -74,6 +74,14 @@ def _run_characterization(
     env, cluster = system.env, system.cluster
     if tasks is None:
         tasks = system.workload.sample_tasks(spec.arrival.num_requests)
+    elif spec.measurement.warmup_requests >= len(tasks):
+        # Spec validation only covers arrival.num_requests; explicit task
+        # lists bypass it and must not silently measure an empty window.
+        raise ValueError(
+            f"measurement.warmup_requests ({spec.measurement.warmup_requests}) "
+            f"must be smaller than the explicit task list ({len(tasks)} tasks): "
+            "the measured window would be empty"
+        )
     agent = system.create_agent(seed_stream=system.stream)
 
     outcome = CharacterizationResult(
@@ -103,6 +111,12 @@ def _run_characterization(
                 kv_max_bytes=kv_stats["max_bytes"],
             )
         )
+    # Warm-up exclusion: drop the first ``warmup_requests`` observations so
+    # characterization honours MeasurementSpec instead of silently ignoring
+    # it (spec validation guarantees at least one observation survives).
+    warmup = spec.measurement.warmup_requests
+    if warmup:
+        outcome.observations = outcome.observations[warmup:]
     return outcome
 
 
@@ -114,25 +128,36 @@ def _run_characterization(
 class ServingDriver:
     """Drives one assembled system through an arrival plan.
 
-    Worker spawns are gated on ``spec.max_concurrency`` when it is set:
-    excess requests queue at the server door and their admission delay is
-    recorded.  With ``max_concurrency=None`` the driver is event-for-event
-    identical to the legacy ``AgentServer`` loop.
+    Every arrival is offered to the system's
+    :class:`~repro.serving.admission.AdmissionController` before any work is
+    enqueued: admitted requests spawn a worker immediately, delayed requests
+    wait in a per-policy door queue (drained when a completion frees capacity
+    or at the policy's requested retry time, e.g. a token-bucket refill), and
+    rejected requests are shed with per-class and per-pool accounting.  With
+    no admission spec and no ``max_concurrency`` the controller is the open
+    door and the driver is event-for-event identical to the legacy
+    ``AgentServer`` loop; with ``max_concurrency`` set it reproduces the
+    historical enforced gate bit-for-bit.
     """
 
     def __init__(self, system: System):
         self.system = system
         self.env = system.env
         self.spec = system.spec
+        self.admission = system.admission
         # Legacy worker counter: incremented when a worker process starts,
         # decremented when it finishes, and used to label the worker's agent
         # seed stream (kept for bit-for-bit legacy compatibility).
         self._active_workers = 0
-        # Admission bookkeeping for the max_concurrency gate.
-        self._in_flight = 0
-        self._door_queue: Deque[
-            Tuple[float, Task, Optional[str], List[AgentRunResult]]
-        ] = deque()
+        # Door queues of delayed requests, one FIFO per admission policy
+        # instance (so a shared policy keeps the legacy global FIFO order
+        # while per-class policies cannot head-of-line block each other).
+        self._door_queues: Dict[
+            int,
+            Tuple[object, Deque[Tuple[float, Task, Optional[str], List[AgentRunResult]]]],
+        ] = {}
+        # Policies with a pending retry timer (keyed by id(policy)).
+        self._retry_pending: set = set()
         self._admission_delays: List[float] = []
         # (time, energy snapshot) at the moment the warm-up window closed.
         self._warmup_boundary: Optional[Tuple[float, object]] = None
@@ -160,7 +185,7 @@ class ServingDriver:
         collected.append(result)
         self._note_completion(collected)
         self._active_workers -= 1
-        self._on_worker_done(collected)
+        self._on_worker_done(label, result)
 
     def _note_completion(self, collected: List[AgentRunResult]) -> None:
         """Mark the instant the warm-up window closes (for window-true metrics)."""
@@ -171,26 +196,75 @@ class ServingDriver:
     def _spawn(
         self, task: Task, label: Optional[str], collected: List[AgentRunResult]
     ) -> None:
-        self._in_flight += 1
         self.env.process(self._worker(task, label, collected))
+
+    # -- door gate (admission control) ----------------------------------------
+    def _door_queue_for(
+        self, policy
+    ) -> Deque[Tuple[float, Task, Optional[str], List[AgentRunResult]]]:
+        entry = self._door_queues.get(id(policy))
+        if entry is None:
+            entry = self._door_queues[id(policy)] = (policy, deque())
+        return entry[1]
 
     def _admit(
         self, task: Task, label: Optional[str], collected: List[AgentRunResult]
     ) -> None:
-        cap = self.spec.max_concurrency
-        if cap is not None and self._in_flight >= cap:
-            self._door_queue.append((self.env.now, task, label, collected))
-            return
-        self._admission_delays.append(0.0)
-        self._spawn(task, label, collected)
+        from repro.serving.admission import ADMIT, DELAY
 
-    def _on_worker_done(self, collected: List[AgentRunResult]) -> None:
-        self._in_flight -= 1
-        cap = self.spec.max_concurrency
-        while self._door_queue and (cap is None or self._in_flight < cap):
-            enqueued_at, task, label, sink = self._door_queue.popleft()
-            self._admission_delays.append(self.env.now - enqueued_at)
-            self._spawn(task, label, sink)
+        decision = self.admission.offer(self.env.now, label)
+        if decision == ADMIT:
+            self._admission_delays.append(0.0)
+            self._spawn(task, label, collected)
+        elif decision == DELAY:
+            policy = self.admission.policy_for(label)
+            self._door_queue_for(policy).append((self.env.now, task, label, collected))
+            self._schedule_retry(policy)
+        # REJECT: the request is shed; the controller recorded it.
+
+    def _on_worker_done(self, label: Optional[str], result: AgentRunResult) -> None:
+        self.admission.on_complete(
+            self.env.now, label, result.e2e_latency, result.total_output_tokens
+        )
+        self._drain_door_queues()
+
+    def _drain_door_queues(self) -> None:
+        for policy, queue in list(self._door_queues.values()):
+            self._drain_door_queue(policy, queue)
+
+    def _drain_door_queue(self, policy, queue) -> None:
+        from repro.serving.admission import ADMIT, REJECT
+
+        while queue:
+            enqueued_at, task, label, sink = queue[0]
+            decision = self.admission.readmit(self.env.now, label)
+            if decision == ADMIT:
+                queue.popleft()
+                self._admission_delays.append(self.env.now - enqueued_at)
+                self._spawn(task, label, sink)
+            elif decision == REJECT:
+                # Shed after waiting at the door (late slo-shed engagement).
+                queue.popleft()
+            else:
+                self._schedule_retry(policy)
+                return
+
+    def _schedule_retry(self, policy) -> None:
+        """Arm the policy's spontaneous re-offer timer (token refills etc.)."""
+        if id(policy) in self._retry_pending:
+            return
+        retry_at = policy.retry_at(self.env.now)
+        if retry_at is None:
+            return  # Re-offered when a completion frees capacity.
+        self._retry_pending.add(id(policy))
+        self.env.process(self._retry_after(policy, retry_at))
+
+    def _retry_after(self, policy, retry_at: float):
+        yield self.env.timeout(max(0.0, retry_at - self.env.now))
+        self._retry_pending.discard(id(policy))
+        entry = self._door_queues.get(id(policy))
+        if entry is not None:
+            self._drain_door_queue(policy, entry[1])
 
     def _request_generator(self, plan: ArrivalPlan, collected: List[AgentRunResult]):
         previous = 0.0
@@ -205,20 +279,33 @@ class ServingDriver:
     def serve(self, plan: ArrivalPlan) -> ServingResult:
         """Serve an arrival plan to completion and collect serving metrics."""
         system, env = self.system, self.env
+        warmup = self.spec.measurement.warmup_requests
+        if warmup >= len(plan):
+            raise ValueError(
+                f"measurement.warmup_requests ({warmup}) must be smaller than "
+                f"the arrival plan ({len(plan)} requests): the measured window "
+                "would be empty"
+            )
         collected: List[AgentRunResult] = []
         self._admission_delays = []
         self._warmup_boundary = None
+        self._door_queues.clear()
+        self._retry_pending.clear()
+        self.admission.reset_counts()
         energy_before = system.cluster.energy_snapshot()
         start_time = env.now
         generator = env.process(self._request_generator(plan, collected))
         env.run(generator)
-        # Drain: run until every issued request has been answered (or no
-        # progress remains possible, which would indicate a deadlocked
+        # Drain: run until every issued request has been answered or shed (or
+        # no progress remains possible, which would indicate a deadlocked
         # worker).  An autoscaler's periodic heartbeat keeps the event queue
         # non-empty forever, so "queue empty" alone is not a liveness test:
         # when only background timers (heartbeats, replica warm-ups) remain,
         # no worker can ever complete and we bail out the same way.
-        while len(collected) < len(plan) and env.peek() != float("inf"):
+        while (
+            len(collected) + self.admission.total_rejected < len(plan)
+            and env.peek() != float("inf")
+        ):
             if self._only_background_events_remain():
                 break
             env.step()
@@ -253,6 +340,9 @@ class ServingDriver:
         collected: List[AgentRunResult] = []
         self._admission_delays = []
         self._warmup_boundary = None
+        # Closed-loop serving bypasses the door (one request at a time can
+        # never overload it); clear stale accounting from a previous run.
+        self.admission.reset_counts()
         energy_before = system.cluster.energy_snapshot()
         start_time = env.now
         for task in plan.tasks:
@@ -301,6 +391,9 @@ class ServingDriver:
             system.cluster.runtime_breakdown(start_time, end_time)
         )
         kv_stats = system.cluster.kv_memory_stats(start_time, end_time)
+        # Price shed requests at the run's final per-class token means before
+        # the per-pool snapshot is taken.
+        self.admission.finalize_shed_estimates()
         return ServingResult(
             config=compat_serving_config(self.spec),
             offered_qps=offered_qps,
@@ -325,6 +418,8 @@ class ServingDriver:
             class_stats=self._class_stats(measured, duration),
             replica_seconds=system.cluster.replica_seconds_until(end_time),
             scaling_events=list(system.cluster.scaling_events),
+            admission_stats=self.admission.class_stats(),
+            slo_p95_s=self.spec.measurement.slo_p95_s,
         )
 
     def _pool_stats(
@@ -360,20 +455,35 @@ class ServingDriver:
             llm_throughput_qps=len(latencies) / duration,
             preemptions=pool.preemption_count,
             prefix_cache_hit_rate=pool.prefix_cache_hit_rate(),
+            rejected_requests=pool.rejected_requests,
+            shed_tokens=pool.shed_tokens,
         )
 
     def _class_stats(
         self, measured: List[AgentRunResult], duration: float
     ) -> Dict[str, TrafficClassStats]:
         """Request-level metrics per traffic class (empty without a mixture)."""
+        admission = self.admission.class_stats()
         groups: Dict[str, List[AgentRunResult]] = {}
         for result in measured:
             label = result.metadata.get("traffic_class")
             if label is not None:
                 groups.setdefault(label, []).append(result)
+        # Classes whose every request was shed still get a row: a 100%
+        # rejection rate must not disappear from the per-class report.
+        for label in admission:
+            if label and label not in groups:
+                groups.setdefault(label, [])
         stats: Dict[str, TrafficClassStats] = {}
         for label, results in groups.items():
             latencies = [result.e2e_latency for result in results]
+            door = admission.get(label)
+            slo = self.spec.measurement.slo_for(label)
+            attainment = None
+            if slo is not None and latencies:
+                attainment = mean(
+                    [1.0 if latency <= slo else 0.0 for latency in latencies]
+                )
             stats[label] = TrafficClassStats(
                 label=label,
                 num_completed=len(results),
@@ -383,6 +493,11 @@ class ServingDriver:
                 accuracy=mean(
                     [1.0 if result.answer_correct else 0.0 for result in results]
                 ),
+                offered=door.offered if door is not None else len(results),
+                rejected=door.rejected if door is not None else 0,
+                shed_tokens=door.shed_tokens if door is not None else 0.0,
+                slo_p95_s=slo,
+                slo_attainment=attainment,
             )
         return stats
 

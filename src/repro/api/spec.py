@@ -31,6 +31,10 @@ from repro.agents import AgentConfig
 from repro.agents.registry import AGENT_CLASSES, available_agents
 from repro.llm.models import get_model
 from repro.llm.scheduler import SCHEDULER_POLICIES, available_scheduler_policies
+from repro.serving.admission import (
+    ADMISSION_POLICIES,
+    available_admission_policies,
+)
 from repro.serving.cluster import ROUTER_POLICIES, available_router_policies
 from repro.workloads import available_workloads
 
@@ -76,22 +80,154 @@ class ArrivalSpec:
 
 @dataclass(frozen=True)
 class MeasurementSpec:
-    """What part of the run contributes to reported metrics.
+    """What part of the run contributes to reported metrics, and the SLOs.
 
     ``warmup_requests`` earliest-*completing* requests are excluded from the
-    serving metrics, mimicking the warm-up window real serving measurements
-    discard: the measured window (duration, energy, GPU runtime, KV stats)
-    opens at the instant the last warm-up request completes, and the
-    latency/accuracy distributions and request counts cover only the
-    remaining requests.  The default measures everything, which is what the
-    paper's single-engine experiments do.
+    reported metrics, mimicking the warm-up window real serving measurements
+    discard: for serving runs the measured window (duration, energy, GPU
+    runtime, KV stats) opens at the instant the last warm-up request
+    completes, and the latency/accuracy distributions and request counts
+    cover only the remaining requests; characterization runs drop the first
+    ``warmup_requests`` observations.  The default measures everything, which
+    is what the paper's single-engine experiments do.
+
+    ``slo_p95_s`` declares the experiment's end-to-end p95 latency SLO, and
+    ``class_slos`` overrides it per traffic class (``(("chat", 2.5), ...)``).
+    Declared SLOs are what serving results report *SLO attainment* against
+    (the fraction of measured requests whose latency met their class's SLO),
+    and what the ``slo-shed`` admission policy protects when its spec does
+    not carry an explicit target.
     """
 
     warmup_requests: int = 0
+    slo_p95_s: Optional[float] = None
+    class_slos: Tuple[Tuple[str, float], ...] = ()
 
     def __post_init__(self) -> None:
         if self.warmup_requests < 0:
             raise ValueError("warmup_requests must be >= 0")
+        if self.slo_p95_s is not None and self.slo_p95_s <= 0:
+            raise ValueError("slo_p95_s must be > 0 (or None)")
+        if not isinstance(self.class_slos, tuple) or any(
+            not isinstance(entry, tuple) for entry in self.class_slos
+        ):
+            object.__setattr__(
+                self, "class_slos", tuple(tuple(entry) for entry in self.class_slos)
+            )
+        labels = [label for label, _ in self.class_slos]
+        if len(set(labels)) != len(labels):
+            raise ValueError(f"duplicate class_slos labels: {labels}")
+        for label, slo in self.class_slos:
+            if not label:
+                raise ValueError("class_slos labels must be non-empty")
+            if slo <= 0:
+                raise ValueError(f"class_slos[{label!r}] must be > 0")
+
+    def slo_for(self, traffic_class: Optional[str]) -> Optional[float]:
+        """The p95 SLO governing ``traffic_class`` (class override, then default)."""
+        if traffic_class is not None:
+            for label, slo in self.class_slos:
+                if label == traffic_class:
+                    return slo
+        return self.slo_p95_s
+
+
+@dataclass(frozen=True)
+class AdmissionSpec:
+    """Which admission policy guards the serving door, per traffic class.
+
+    ``policy`` names a policy from the :mod:`repro.serving.admission`
+    registry (``unlimited`` | ``concurrency`` | ``token-bucket`` |
+    ``slo-shed``); the remaining fields parameterise it:
+
+    * ``concurrency`` -- ``max_concurrency`` in-flight requests (``None``
+      inherits :attr:`ExperimentSpec.max_concurrency`).  Golden-pinned to
+      reproduce the legacy enforced door gate bit-for-bit.
+    * ``token-bucket`` -- ``rate_qps`` + ``burst`` tokens; over-rate requests
+      are delayed until the bucket refills (``overload_action="delay"``, the
+      default) or shed (``"reject"``).
+    * ``slo-shed`` -- deadline-aware shedding with hysteresis
+      (``enter_factor`` / ``exit_factor`` around the SLO): work is shed while
+      the projected p95 (rolling ``window_s`` of completed latencies plus the
+      predicted-decode-token backlog drain time) violates ``slo_p95_s``.
+      ``slo_p95_s=None`` inherits the SLO :class:`MeasurementSpec` declares
+      for ``protect_class``; ``protect_class`` names the traffic class whose
+      latency the gate protects (the shedding applies to whatever classes
+      route to this policy).
+
+    ``per_class`` overrides the policy per traffic class:
+    ``(("agent", AdmissionSpec(policy="slo-shed", protect_class="chat")),)``
+    sheds agent load whenever chat's SLO projection degrades, while chat
+    itself stays on the default policy.  Overrides cannot nest further.
+    """
+
+    policy: str = "unlimited"
+    max_concurrency: Optional[int] = None
+    rate_qps: Optional[float] = None
+    burst: int = 1
+    overload_action: str = ""
+    slo_p95_s: Optional[float] = None
+    protect_class: str = ""
+    window_s: float = 30.0
+    enter_factor: float = 1.0
+    exit_factor: float = 0.8
+    per_class: Tuple[Tuple[str, "AdmissionSpec"], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.policy.lower() not in ADMISSION_POLICIES:
+            raise ValueError(
+                f"unknown admission policy {self.policy!r}; "
+                f"known: {available_admission_policies()}"
+            )
+        if self.max_concurrency is not None and self.max_concurrency < 1:
+            raise ValueError("admission max_concurrency must be >= 1 (or None)")
+        if self.policy.lower() == "token-bucket":
+            if self.rate_qps is None or self.rate_qps <= 0:
+                raise ValueError("token-bucket admission requires rate_qps > 0")
+        elif self.rate_qps is not None:
+            raise ValueError(f"admission policy {self.policy!r} does not take rate_qps")
+        if self.burst < 1:
+            raise ValueError("admission burst must be >= 1")
+        if self.overload_action not in ("", "delay", "reject"):
+            raise ValueError(
+                "admission overload_action must be '', 'delay', or 'reject'"
+            )
+        if self.slo_p95_s is not None and self.slo_p95_s <= 0:
+            raise ValueError("admission slo_p95_s must be > 0 (or None)")
+        if self.window_s <= 0:
+            raise ValueError("admission window_s must be > 0")
+        if not 0 < self.exit_factor <= self.enter_factor:
+            raise ValueError("admission needs 0 < exit_factor <= enter_factor")
+        if not isinstance(self.per_class, tuple) or any(
+            not isinstance(entry, tuple) for entry in self.per_class
+        ):
+            object.__setattr__(
+                self, "per_class", tuple(tuple(entry) for entry in self.per_class)
+            )
+        labels = [label for label, _ in self.per_class]
+        if len(set(labels)) != len(labels):
+            raise ValueError(f"duplicate per_class admission labels: {labels}")
+        for label, override in self.per_class:
+            if not label:
+                raise ValueError("per_class admission labels must be non-empty")
+            if not isinstance(override, AdmissionSpec):
+                raise ValueError(
+                    f"per_class admission for {label!r} must be an AdmissionSpec"
+                )
+            if override.per_class:
+                raise ValueError("per_class admission overrides cannot nest")
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "AdmissionSpec":
+        """Rebuild from a plain-dict form (inverse of ``dataclasses.asdict``)."""
+        data = dict(payload)
+        if data.get("per_class"):
+            data["per_class"] = tuple(
+                (label, override if isinstance(override, AdmissionSpec)
+                 else cls.from_dict(override))
+                for label, override in data["per_class"]
+            )
+        return cls(**data)
 
 
 @dataclass(frozen=True)
@@ -242,6 +378,11 @@ class ExperimentSpec:
     seed: int = 0
     max_decode_chunk: int = 1
     max_concurrency: Optional[int] = None
+    # Admission policy guarding the serving door (None = the legacy
+    # behaviour: unlimited, or the enforced concurrency gate when
+    # max_concurrency is set).  A bare policy name is accepted as shorthand
+    # for AdmissionSpec(policy=name).
+    admission: Optional[AdmissionSpec] = None
     # -- fleet extensions (empty/None = legacy single-pool behaviour) --------
     pools: Tuple[PoolSpec, ...] = ()
     workloads: Tuple[WeightedWorkload, ...] = ()
@@ -279,12 +420,14 @@ class ExperimentSpec:
             raise ValueError("max_concurrency must be >= 1 (or None for unlimited)")
         if self.measurement.warmup_requests >= self.arrival.num_requests:
             raise ValueError(
-                "measurement.warmup_requests must be smaller than "
-                "arrival.num_requests (the measured window would be empty)"
+                f"measurement.warmup_requests must be smaller than "
+                f"arrival.num_requests ({self.measurement.warmup_requests} >= "
+                f"{self.arrival.num_requests}: the measured window would be empty)"
             )
         if self.predictor_error < 0:
             raise ValueError("predictor_error must be >= 0")
         self._validate_fleet()
+        self._validate_admission()
 
     def _validate_fleet(self) -> None:
         if not isinstance(self.pools, tuple):
@@ -322,6 +465,64 @@ class ExperimentSpec:
                     f"known: {pool_names or ['default']}"
                 )
 
+    def _validate_admission(self) -> None:
+        known_classes = {mix.name for mix in self.workloads}
+        for label, _ in self.measurement.class_slos:
+            if self.workloads and label not in known_classes:
+                raise ValueError(
+                    f"measurement.class_slos names unknown traffic class "
+                    f"{label!r}; mixture classes: {sorted(known_classes)}"
+                )
+        if self.admission is None:
+            return
+        if isinstance(self.admission, str):
+            object.__setattr__(self, "admission", AdmissionSpec(policy=self.admission))
+        admission: AdmissionSpec = self.admission
+        if self.arrival.process == "single":
+            raise ValueError(
+                "admission control requires a serving arrival process, not 'single'"
+            )
+        if admission.per_class and not self.workloads:
+            raise ValueError(
+                "per_class admission overrides require a workload mixture"
+            )
+        for label, _ in admission.per_class:
+            if label not in known_classes:
+                raise ValueError(
+                    f"admission per_class names unknown traffic class {label!r}; "
+                    f"mixture classes: {sorted(known_classes)}"
+                )
+        for scope, sub in (("admission", admission), *admission.per_class):
+            if sub.policy.lower() == "concurrency":
+                if sub.max_concurrency is None and self.max_concurrency is None:
+                    raise ValueError(
+                        f"{scope!r} admission policy 'concurrency' needs "
+                        "max_concurrency (on the admission spec or the experiment)"
+                    )
+                if sub.max_concurrency is not None and self.max_concurrency is not None:
+                    raise ValueError(
+                        "set max_concurrency either on the experiment or on the "
+                        "admission spec, not both"
+                    )
+            if sub.protect_class:
+                if not self.workloads:
+                    raise ValueError(
+                        "admission protect_class requires a workload mixture"
+                    )
+                if sub.protect_class not in known_classes:
+                    raise ValueError(
+                        f"admission protect_class names unknown traffic class "
+                        f"{sub.protect_class!r}; mixture classes: {sorted(known_classes)}"
+                    )
+            if sub.policy.lower() == "slo-shed" and sub.slo_p95_s is None:
+                resolved = self.measurement.slo_for(sub.protect_class or None)
+                if resolved is None:
+                    raise ValueError(
+                        f"{scope!r} admission policy 'slo-shed' needs an SLO: set "
+                        "slo_p95_s on the admission spec or declare one in "
+                        "measurement (slo_p95_s / class_slos)"
+                    )
+
     # -- derived -------------------------------------------------------------
     @property
     def needs_tools(self) -> bool:
@@ -353,6 +554,8 @@ class ExperimentSpec:
             data["arrival"] = ArrivalSpec(**data["arrival"])
         if isinstance(data.get("measurement"), dict):
             data["measurement"] = MeasurementSpec(**data["measurement"])
+        if isinstance(data.get("admission"), dict):
+            data["admission"] = AdmissionSpec.from_dict(data["admission"])
         if data.get("pools"):
             data["pools"] = tuple(
                 PoolSpec(**dict(pool, traffic_classes=tuple(pool.get("traffic_classes", ()))))

@@ -1,0 +1,660 @@
+"""SLO-aware admission control: pluggable door policies for the serving fleet.
+
+Admission control generalises the historical ``ServingConfig.max_concurrency``
+door gate into a policy registry.  A policy sees every request the moment it
+arrives at the serving system -- *before* any work is enqueued on a replica
+pool -- and answers with one of three decisions:
+
+* ``admit``  -- spawn the request's worker immediately,
+* ``delay``  -- hold the request at the door (it is re-offered when capacity
+  frees up or, for rate limiting, when the bucket refills),
+* ``reject`` -- shed the request: it never runs, and the fleet records the
+  rejection and the decode tokens it avoided.
+
+Built-in policies:
+
+* :class:`UnlimitedAdmission` (``unlimited``) -- the open door (legacy
+  default; requests are never delayed or rejected),
+* :class:`ConcurrencyAdmission` (``concurrency``) -- at most N in-flight
+  requests, excess queue at the door.  This reproduces the historical
+  ``max_concurrency`` gate event-for-event (golden-pinned in
+  ``tests/test_admission.py``),
+* :class:`TokenBucketAdmission` (``token-bucket``) -- classic rate + burst
+  limiting; the bucket holds ``burst`` tokens and refills continuously at
+  ``rate_qps``.  Over-rate requests are delayed until the next token accrues
+  (``overload_action="delay"``, the default) or shed outright (``"reject"``),
+* :class:`SloShedAdmission` (``slo-shed``) -- deadline-aware shedding: the
+  policy projects the p95 latency a newly admitted request would experience
+  (rolling window of completed request latencies, the same signal the
+  :class:`~repro.serving.autoscaler.Autoscaler` scales on, plus the time to
+  drain the fleet's current backlog of
+  :class:`~repro.llm.predictor.DecodeLengthPredictor`-predicted decode
+  tokens) and sheds work while the projection violates the declared SLO.
+  Engagement is hysteretic: shedding starts when the projection exceeds
+  ``slo_p95_s * enter_factor`` and stops only once it falls below
+  ``slo_p95_s * exit_factor``, so the gate does not flap around the SLO.
+
+Policies are consulted per traffic class through the
+:class:`AdmissionController`, which owns the per-class policy table and all
+accounting (offered/admitted/delayed/rejected counts and shed-token
+estimates, also attributed to the replica pool that would have served the
+request).  This is how a chat SLO sheds *agent* load: route the agent class
+to an ``slo-shed`` policy whose ``protect_class`` is the chat class.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Tuple, Type
+
+from repro.core.metrics import percentile
+from repro.registry import PolicyRegistry
+
+#: Decision vocabulary returned by :meth:`AdmissionPolicy.decide`.
+ADMIT = "admit"
+DELAY = "delay"
+REJECT = "reject"
+
+#: Stats key under which requests without a traffic class are accounted.
+UNLABELLED = ""
+
+
+# ---------------------------------------------------------------------------
+# Fleet load signals
+# ---------------------------------------------------------------------------
+
+
+class ClusterLoadProbe:
+    """Read-only load signals an admission policy may consult.
+
+    The probe is the cluster-layer half of admission control: it exposes the
+    backlog currently enqueued across every replica pool (in
+    predicted-decode-token terms, via the cluster's shared
+    :class:`~repro.llm.predictor.DecodeLengthPredictor`) and the decode
+    throughput recently sustained by the fleet, from which a policy can
+    project how long newly admitted work would wait.
+    """
+
+    def __init__(self, cluster):
+        self.cluster = cluster
+
+    def pending_predicted_tokens(self) -> float:
+        """Predicted decode tokens enqueued (waiting or mid-decode) fleet-wide."""
+        return self.cluster.pending_predicted_tokens()
+
+    def recent_decode_token_rate(self, now: float, window_s: float) -> float:
+        """Decode tokens/s completed within the trailing window (0 when idle)."""
+        from repro.serving.autoscaler import rolling_window_completions
+
+        completed = rolling_window_completions(
+            list(self.cluster.engines), window_s, now
+        )
+        if not completed:
+            return 0.0
+        span = min(window_s, now) if now > 0 else window_s
+        if span <= 0:
+            return 0.0
+        return sum(request.num_output_tokens for request in completed) / span
+
+    def backlog_drain_seconds(self, now: float, window_s: float) -> float:
+        """Seconds the current backlog needs to drain at the recent decode rate.
+
+        Zero when the fleet has no recent throughput signal (cold start): with
+        nothing completed yet there is no basis for a projection, and admission
+        should not shed on ignorance.
+        """
+        rate = self.recent_decode_token_rate(now, window_s)
+        if rate <= 0.0:
+            return 0.0
+        return self.pending_predicted_tokens() / rate
+
+
+# ---------------------------------------------------------------------------
+# Policies
+# ---------------------------------------------------------------------------
+
+
+class AdmissionPolicy:
+    """Decides, per arriving request, whether the fleet takes on the work.
+
+    Lifecycle hooks: :meth:`decide` is called once per offer (and once per
+    re-offer of a delayed request); :meth:`admit` / :meth:`release` bracket an
+    admitted request's execution (slot accounting); :meth:`observe` sees every
+    completion fleet-wide regardless of class (latency telemetry for
+    SLO-tracking policies); :meth:`retry_at` tells the driver when a delayed
+    request should be re-offered spontaneously (``None`` = only when a
+    completion frees capacity).
+    """
+
+    name = "base"
+
+    def decide(self, now: float, traffic_class: Optional[str]) -> str:
+        raise NotImplementedError
+
+    def admit(self, now: float, traffic_class: Optional[str]) -> None:
+        """An offered or re-offered request was admitted (slot bookkeeping)."""
+
+    def release(self, now: float, traffic_class: Optional[str]) -> None:
+        """A request this policy admitted finished (slot bookkeeping)."""
+
+    def observe(
+        self,
+        now: float,
+        traffic_class: Optional[str],
+        latency: float,
+        output_tokens: int,
+    ) -> None:
+        """A request completed somewhere in the fleet (any traffic class)."""
+
+    def retry_at(self, now: float) -> Optional[float]:
+        """Absolute time at which a delayed request should be re-offered."""
+        return None
+
+
+class UnlimitedAdmission(AdmissionPolicy):
+    """The open door: every request is admitted immediately (legacy default)."""
+
+    name = "unlimited"
+
+    def decide(self, now: float, traffic_class: Optional[str]) -> str:
+        return ADMIT
+
+
+class ConcurrencyAdmission(AdmissionPolicy):
+    """At most ``max_concurrency`` in-flight requests; excess wait at the door.
+
+    Event-for-event identical to the historical enforced
+    ``ServingConfig.max_concurrency`` gate: arrivals beyond the cap join a
+    FIFO door queue and are admitted, oldest first, as completions free
+    slots.
+    """
+
+    name = "concurrency"
+
+    def __init__(self, max_concurrency: int):
+        if max_concurrency < 1:
+            raise ValueError("max_concurrency must be >= 1")
+        self.max_concurrency = max_concurrency
+        self.in_flight = 0
+
+    def decide(self, now: float, traffic_class: Optional[str]) -> str:
+        return ADMIT if self.in_flight < self.max_concurrency else DELAY
+
+    def admit(self, now: float, traffic_class: Optional[str]) -> None:
+        self.in_flight += 1
+
+    def release(self, now: float, traffic_class: Optional[str]) -> None:
+        self.in_flight -= 1
+
+
+class TokenBucketAdmission(AdmissionPolicy):
+    """Rate + burst limiting: ``burst`` tokens, refilled at ``rate_qps``.
+
+    The bucket starts full and refills continuously (lazily, on every
+    consultation).  Each admission consumes one token; with the bucket empty
+    the request is delayed until the next token accrues
+    (``overload_action="delay"``) or shed (``"reject"``).
+    """
+
+    name = "token-bucket"
+
+    #: Tolerance below one whole token still counted as admittable; absorbs
+    #: the float error of ``now + deficit/rate`` retry arithmetic (without it
+    #: a retry could land a hair before the token accrues and re-arm itself
+    #: at the same simulated instant forever).
+    EPSILON = 1e-9
+
+    def __init__(self, rate_qps: float, burst: int = 1, overload_action: str = "delay"):
+        if rate_qps <= 0:
+            raise ValueError("token-bucket rate_qps must be > 0")
+        if burst < 1:
+            raise ValueError("token-bucket burst must be >= 1")
+        if overload_action not in (DELAY, REJECT):
+            raise ValueError(
+                f"token-bucket overload_action must be {DELAY!r} or {REJECT!r}"
+            )
+        self.rate_qps = rate_qps
+        self.burst = burst
+        self.overload_action = overload_action
+        self.tokens = float(burst)
+        self._last_refill = 0.0
+
+    def _refill(self, now: float) -> None:
+        if now > self._last_refill:
+            self.tokens = min(
+                float(self.burst), self.tokens + (now - self._last_refill) * self.rate_qps
+            )
+            self._last_refill = now
+
+    def decide(self, now: float, traffic_class: Optional[str]) -> str:
+        self._refill(now)
+        if self.tokens >= 1.0 - self.EPSILON:
+            self.tokens = max(0.0, self.tokens - 1.0)
+            return ADMIT
+        return self.overload_action
+
+    def retry_at(self, now: float) -> Optional[float]:
+        """When the next whole token accrues (re-offer time for delays).
+
+        ``None`` in reject mode: an over-rate request is shed on the spot,
+        nothing ever waits for a refill.
+        """
+        if self.overload_action == REJECT:
+            return None
+        self._refill(now)
+        deficit = max(0.0, 1.0 - self.tokens)
+        return now + deficit / self.rate_qps
+
+
+class SloShedAdmission(AdmissionPolicy):
+    """Deadline-aware shedding with hysteresis.
+
+    The projection a decision is based on is
+    ``rolling_p95 + backlog_drain_seconds``: the p95 of end-to-end latencies
+    of requests completed within the trailing ``window_s`` (restricted to
+    ``protect_class`` when set -- that is the class whose SLO this gate
+    protects), plus the time the fleet needs to drain its current backlog of
+    predictor-estimated decode tokens at its recently sustained decode rate.
+
+    Hysteresis: shedding engages when the projection exceeds
+    ``slo_p95_s * enter_factor`` and disengages only when it falls below
+    ``slo_p95_s * exit_factor`` (``exit_factor <= enter_factor``), recorded
+    in :attr:`transitions` as ``(time, shed_active)`` pairs.
+
+    While shedding, requests routed to this policy are rejected
+    (``overload_action="reject"``, the default) or held at the door and
+    re-offered every ``retry_interval_s`` (``"delay"``, the deprioritising
+    variant).
+    """
+
+    name = "slo-shed"
+
+    def __init__(
+        self,
+        slo_p95_s: float,
+        window_s: float = 30.0,
+        enter_factor: float = 1.0,
+        exit_factor: float = 0.8,
+        protect_class: Optional[str] = None,
+        overload_action: str = "reject",
+        load_probe: Optional[ClusterLoadProbe] = None,
+        retry_interval_s: Optional[float] = None,
+    ):
+        if slo_p95_s <= 0:
+            raise ValueError("slo-shed slo_p95_s must be > 0")
+        if window_s <= 0:
+            raise ValueError("slo-shed window_s must be > 0")
+        if not 0 < exit_factor <= enter_factor:
+            raise ValueError("slo-shed needs 0 < exit_factor <= enter_factor")
+        if overload_action not in (DELAY, REJECT):
+            raise ValueError(
+                f"slo-shed overload_action must be {DELAY!r} or {REJECT!r}"
+            )
+        self.slo_p95_s = slo_p95_s
+        self.window_s = window_s
+        self.enter_factor = enter_factor
+        self.exit_factor = exit_factor
+        self.protect_class = protect_class
+        self.overload_action = overload_action
+        self.load_probe = load_probe
+        self.retry_interval_s = (
+            window_s / 4.0 if retry_interval_s is None else retry_interval_s
+        )
+        self.shed_active = False
+        #: (time, shed_active) hysteresis transitions, oldest first.
+        self.transitions: List[Tuple[float, bool]] = []
+        self._completions: Deque[Tuple[float, float]] = deque()
+        # Projection memo for one simulated instant: a burst landing at the
+        # same time (or a drain loop re-offering queued requests) pays for
+        # the O(backlog) fleet scan once, not once per request.  Invalidated
+        # by any completion (which moves both window and backlog).
+        self._projection_memo: Optional[Tuple[float, float]] = None
+
+    # -- telemetry ----------------------------------------------------------
+    def observe(
+        self,
+        now: float,
+        traffic_class: Optional[str],
+        latency: float,
+        output_tokens: int,
+    ) -> None:
+        # Any completion changes both the rolling window and the backlog.
+        self._projection_memo = None
+        if self.protect_class is not None and traffic_class != self.protect_class:
+            return
+        self._completions.append((now, latency))
+
+    def rolling_p95(self, now: float) -> float:
+        """p95 of protected-class latencies completed within the window."""
+        cutoff = now - self.window_s
+        while self._completions and self._completions[0][0] < cutoff:
+            self._completions.popleft()
+        return percentile([latency for _, latency in self._completions], 95.0)
+
+    def projected_p95(self, now: float) -> float:
+        """Latency a newly admitted protected request is projected to see."""
+        memo = self._projection_memo
+        if memo is not None and memo[0] == now:
+            return memo[1]
+        projection = self.rolling_p95(now)
+        if self.load_probe is not None:
+            projection += self.load_probe.backlog_drain_seconds(now, self.window_s)
+        self._projection_memo = (now, projection)
+        return projection
+
+    # -- decisions ----------------------------------------------------------
+    def decide(self, now: float, traffic_class: Optional[str]) -> str:
+        projected = self.projected_p95(now)
+        if self.shed_active:
+            if projected <= self.slo_p95_s * self.exit_factor:
+                self.shed_active = False
+                self.transitions.append((now, False))
+        elif projected > self.slo_p95_s * self.enter_factor:
+            self.shed_active = True
+            self.transitions.append((now, True))
+        if self.shed_active:
+            return self.overload_action
+        return ADMIT
+
+    def retry_at(self, now: float) -> Optional[float]:
+        if self.overload_action != DELAY:
+            return None
+        return now + self.retry_interval_s
+
+
+ADMISSION_POLICY_REGISTRY = PolicyRegistry("admission policy")
+#: name -> class mapping (keys are lower-case); kept for membership checks.
+ADMISSION_POLICIES: Dict[str, Type[AdmissionPolicy]] = ADMISSION_POLICY_REGISTRY.policies
+
+
+def register_admission_policy(
+    policy_class: Type[AdmissionPolicy],
+) -> Type[AdmissionPolicy]:
+    """Register a policy class under its ``name`` (also usable as a decorator)."""
+    return ADMISSION_POLICY_REGISTRY.register(policy_class)
+
+
+register_admission_policy(UnlimitedAdmission)
+register_admission_policy(ConcurrencyAdmission)
+register_admission_policy(TokenBucketAdmission)
+register_admission_policy(SloShedAdmission)
+
+
+def available_admission_policies() -> List[str]:
+    return ADMISSION_POLICY_REGISTRY.available()
+
+
+def build_admission_policy(
+    name: str,
+    *,
+    max_concurrency: Optional[int] = None,
+    rate_qps: Optional[float] = None,
+    burst: int = 1,
+    overload_action: str = "",
+    slo_p95_s: Optional[float] = None,
+    window_s: float = 30.0,
+    enter_factor: float = 1.0,
+    exit_factor: float = 0.8,
+    protect_class: Optional[str] = None,
+    load_probe: Optional[ClusterLoadProbe] = None,
+) -> AdmissionPolicy:
+    """Instantiate a registered admission policy from declarative parameters.
+
+    ``overload_action=""`` picks the policy's default (token-bucket delays,
+    slo-shed rejects).  Raises :class:`ValueError` for unknown names or
+    missing required parameters.
+    """
+    key = name.lower()
+    if key not in ADMISSION_POLICIES:
+        raise ValueError(
+            f"unknown admission policy {name!r}; known: {available_admission_policies()}"
+        )
+    if key == "unlimited":
+        return UnlimitedAdmission()
+    if key == "concurrency":
+        if max_concurrency is None:
+            raise ValueError("admission policy 'concurrency' requires max_concurrency")
+        return ConcurrencyAdmission(max_concurrency)
+    if key == "token-bucket":
+        if rate_qps is None:
+            raise ValueError("admission policy 'token-bucket' requires rate_qps")
+        return TokenBucketAdmission(rate_qps, burst, overload_action or DELAY)
+    if key == "slo-shed":
+        if slo_p95_s is None:
+            raise ValueError(
+                "admission policy 'slo-shed' requires an SLO (slo_p95_s on the "
+                "admission spec, or one declared in MeasurementSpec)"
+            )
+        return SloShedAdmission(
+            slo_p95_s,
+            window_s=window_s,
+            enter_factor=enter_factor,
+            exit_factor=exit_factor,
+            protect_class=protect_class,
+            overload_action=overload_action or REJECT,
+            load_probe=load_probe,
+        )
+    # Externally registered policies are built with their default
+    # constructor; parameterise them by registering a pre-configured class.
+    return ADMISSION_POLICY_REGISTRY.create(name)
+
+
+# ---------------------------------------------------------------------------
+# Controller: per-class policy table + accounting
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ClassAdmissionStats:
+    """Door-level accounting for one traffic class over a serving run."""
+
+    label: str
+    offered: int
+    admitted: int
+    delayed: int
+    rejected: int
+    shed_tokens: float
+
+    @property
+    def rejection_rate(self) -> float:
+        if self.offered == 0:
+            return 0.0
+        return self.rejected / self.offered
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "class": self.label or "(all)",
+            "offered": self.offered,
+            "admitted": self.admitted,
+            "delayed": self.delayed,
+            "rejected": self.rejected,
+            "rejection_rate": self.rejection_rate,
+            "shed_tokens": self.shed_tokens,
+        }
+
+
+class _Counts:
+    __slots__ = (
+        "offered",
+        "admitted",
+        "delayed",
+        "rejected",
+        "completed",
+        "output_tokens",
+    )
+
+    def __init__(self) -> None:
+        self.offered = 0
+        self.admitted = 0
+        self.delayed = 0
+        self.rejected = 0
+        self.completed = 0
+        self.output_tokens = 0
+
+
+class AdmissionController:
+    """Routes door decisions to per-traffic-class policies and keeps the books.
+
+    ``class_policies`` maps traffic-class labels to policy instances; classes
+    without an entry use ``default_policy``.  ``class_pools`` maps labels to
+    the :class:`~repro.serving.cluster.ReplicaPool` that would have served the
+    class, so rejections and shed tokens are also attributed per pool
+    (``default_pool`` catches unmapped classes).
+
+    Shed-token estimates: a rejected request never runs, so the decode tokens
+    it would have cost are estimated from the mean output tokens of completed
+    requests of the same class (falling back to the all-class mean).  The
+    estimate is computed lazily -- at reporting time, from the whole run's
+    completions -- so requests shed before the first completion are still
+    priced.
+    """
+
+    def __init__(
+        self,
+        default_policy: AdmissionPolicy,
+        class_policies: Optional[Dict[str, AdmissionPolicy]] = None,
+        class_pools: Optional[Dict[str, object]] = None,
+        default_pool: Optional[object] = None,
+    ):
+        self.default_policy = default_policy
+        self.class_policies = dict(class_policies or {})
+        self.class_pools = dict(class_pools or {})
+        self.default_pool = default_pool
+        self._counts: Dict[str, _Counts] = {}
+        # Per-pool rejection labels of the current run (lazy shed pricing):
+        # id(pool) -> (pool, {label: rejections}); base = shed_tokens carried
+        # over from previous runs on the same system.
+        self._pool_rejections: Dict[int, Tuple[object, Dict[str, int]]] = {}
+        self._pool_shed_base: Dict[int, float] = {}
+        # Unique policy instances, default first (observation fan-out order).
+        self.policies: List[AdmissionPolicy] = [default_policy]
+        for policy in self.class_policies.values():
+            if all(policy is not seen for seen in self.policies):
+                self.policies.append(policy)
+
+    # -- lookup -------------------------------------------------------------
+    def policy_for(self, traffic_class: Optional[str]) -> AdmissionPolicy:
+        if traffic_class is not None and traffic_class in self.class_policies:
+            return self.class_policies[traffic_class]
+        return self.default_policy
+
+    def _counts_for(self, traffic_class: Optional[str]) -> _Counts:
+        key = UNLABELLED if traffic_class is None else traffic_class
+        counts = self._counts.get(key)
+        if counts is None:
+            counts = self._counts[key] = _Counts()
+        return counts
+
+    def _pool_for(self, traffic_class: Optional[str]):
+        # Pool traffic-class declarations are normalised to lower case by
+        # ReplicaPool, so attribute rejections case-insensitively.
+        if traffic_class is not None and traffic_class.lower() in self.class_pools:
+            return self.class_pools[traffic_class.lower()]
+        return self.default_pool
+
+    # -- decisions ----------------------------------------------------------
+    def offer(self, now: float, traffic_class: Optional[str]) -> str:
+        """First consultation for an arriving request; counts it as offered."""
+        counts = self._counts_for(traffic_class)
+        counts.offered += 1
+        decision = self.policy_for(traffic_class).decide(now, traffic_class)
+        if decision == ADMIT:
+            counts.admitted += 1
+            self.policy_for(traffic_class).admit(now, traffic_class)
+        elif decision == DELAY:
+            counts.delayed += 1
+        else:
+            self._record_rejection(traffic_class, counts)
+        return decision
+
+    def readmit(self, now: float, traffic_class: Optional[str]) -> str:
+        """Re-offer a request already waiting at the door (no offered count)."""
+        counts = self._counts_for(traffic_class)
+        decision = self.policy_for(traffic_class).decide(now, traffic_class)
+        if decision == ADMIT:
+            counts.admitted += 1
+            self.policy_for(traffic_class).admit(now, traffic_class)
+        elif decision == REJECT:
+            self._record_rejection(traffic_class, counts)
+        return decision
+
+    def _record_rejection(self, traffic_class: Optional[str], counts: _Counts) -> None:
+        counts.rejected += 1
+        pool = self._pool_for(traffic_class)
+        if pool is not None:
+            pool.rejected_requests += 1
+            key = id(pool)
+            entry = self._pool_rejections.get(key)
+            if entry is None:
+                entry = self._pool_rejections[key] = (pool, {})
+                self._pool_shed_base.setdefault(key, pool.shed_tokens)
+            label = UNLABELLED if traffic_class is None else traffic_class
+            entry[1][label] = entry[1].get(label, 0) + 1
+
+    def on_complete(
+        self,
+        now: float,
+        traffic_class: Optional[str],
+        latency: float,
+        output_tokens: int,
+    ) -> None:
+        """A worker finished: free its slot and feed latency telemetry."""
+        counts = self._counts_for(traffic_class)
+        counts.completed += 1
+        counts.output_tokens += output_tokens
+        self.policy_for(traffic_class).release(now, traffic_class)
+        for policy in self.policies:
+            policy.observe(now, traffic_class, latency, output_tokens)
+
+    # -- estimates & reporting ----------------------------------------------
+    def estimated_task_tokens(self, traffic_class: Optional[str]) -> float:
+        """Mean output tokens of completed same-class requests (see class doc)."""
+        counts = self._counts.get(
+            UNLABELLED if traffic_class is None else traffic_class
+        )
+        if counts is not None and counts.completed > 0:
+            return counts.output_tokens / counts.completed
+        completed = sum(c.completed for c in self._counts.values())
+        if completed > 0:
+            tokens = sum(c.output_tokens for c in self._counts.values())
+            return tokens / completed
+        return 0.0
+
+    @property
+    def total_rejected(self) -> int:
+        return sum(counts.rejected for counts in self._counts.values())
+
+    def finalize_shed_estimates(self) -> None:
+        """Price each pool's rejections at the run's final class token means.
+
+        Idempotent: recomputes ``pool.shed_tokens`` from the base carried
+        into this run plus the current estimates.
+        """
+        for key, (pool, by_label) in self._pool_rejections.items():
+            base = self._pool_shed_base.get(key, 0.0)
+            pool.shed_tokens = base + sum(
+                count * self.estimated_task_tokens(label or None)
+                for label, count in by_label.items()
+            )
+
+    def class_stats(self) -> Dict[str, ClassAdmissionStats]:
+        """Frozen per-class snapshot of the door accounting."""
+        return {
+            label: ClassAdmissionStats(
+                label=label,
+                offered=counts.offered,
+                admitted=counts.admitted,
+                delayed=counts.delayed,
+                rejected=counts.rejected,
+                shed_tokens=counts.rejected
+                * self.estimated_task_tokens(label or None),
+            )
+            for label, counts in self._counts.items()
+        }
+
+    def reset_counts(self) -> None:
+        """Clear per-run accounting (policy state -- buckets, windows -- persists)."""
+        self._counts.clear()
+        self._pool_rejections.clear()
+        self._pool_shed_base.clear()

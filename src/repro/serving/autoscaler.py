@@ -30,6 +30,26 @@ from repro.serving.cluster import ReplicaPool
 from repro.sim import Environment
 
 
+def rolling_window_completions(replicas, window_s: float, now: float) -> List:
+    """LLM requests completed within the trailing ``window_s`` across replicas.
+
+    ``completed_requests`` is append-ordered by finish time, so the window is
+    the tail of each replica's list.  This is the rolling-window load signal
+    shared by the :class:`Autoscaler` (p95 of the completions) and SLO-aware
+    admission control (recent decode throughput; see
+    :class:`repro.serving.admission.ClusterLoadProbe`).
+    """
+    cutoff = now - window_s
+    window: List = []
+    for engine in replicas:
+        for request in reversed(engine.completed_requests):
+            finished = request.timings.finished
+            if finished is None or finished < cutoff:
+                break
+            window.append(request)
+    return window
+
+
 class Autoscaler:
     """Feedback controller that elastically sizes one replica pool."""
 
@@ -114,14 +134,5 @@ class Autoscaler:
     def rolling_p95(self, now: Optional[float] = None) -> float:
         """p95 of LLM-request latencies completed within the rolling window."""
         now = self.env.now if now is None else now
-        cutoff = now - self.p95_window_s
-        latencies: List[float] = []
-        for engine in self.pool.replicas:
-            # completed_requests is append-ordered by finish time, so the
-            # window is the tail of each replica's list.
-            for request in reversed(engine.completed_requests):
-                finished = request.timings.finished
-                if finished is None or finished < cutoff:
-                    break
-                latencies.append(request.timings.e2e_latency)
-        return percentile(latencies, 95.0)
+        window = rolling_window_completions(self.pool.replicas, self.p95_window_s, now)
+        return percentile([request.timings.e2e_latency for request in window], 95.0)

@@ -193,6 +193,11 @@ class ReplicaPool:
         self.scaling_events: List[ScalingEvent] = []
         self.spilled_in = 0
         self.spilled_out = 0
+        # Door-level admission accounting attributed to this pool: requests
+        # the admission controller shed instead of enqueueing here, and the
+        # estimated decode tokens that shedding avoided.
+        self.rejected_requests = 0
+        self.shed_tokens = 0.0
         # Warm-up timeouts currently pending (background events for liveness
         # checks, like the autoscaler heartbeat).
         self.activation_timers: List[Event] = []
@@ -289,6 +294,24 @@ class ReplicaPool:
     @property
     def pending_per_active_replica(self) -> float:
         return self.num_pending_requests / max(self.num_active, 1)
+
+    def pending_predicted_tokens(self, predictor: DecodeLengthPredictor) -> float:
+        """Predicted decode tokens enqueued on this pool (waiting + remaining).
+
+        Waiting requests count their full predicted decode; running requests
+        count the predicted remainder.  This is the backlog signal SLO-aware
+        admission consults before new work is enqueued.
+        """
+        total = 0.0
+        for engine in self.replicas:
+            scheduler = engine.scheduler
+            for request in scheduler.waiting:
+                total += predictor.predict(request)
+            for request in scheduler.running:
+                total += max(
+                    0.0, predictor.predict(request) - request.num_output_tokens
+                )
+        return total
 
     def submit(self, request: LLMRequest) -> Event:
         """Route ``request`` to one of the pool's active replicas."""
@@ -470,6 +493,13 @@ class Cluster:
 
     def replica_seconds_until(self, now: Optional[float] = None) -> float:
         return sum(pool.replica_seconds_until(now) for pool in self.pools.values())
+
+    def pending_predicted_tokens(self) -> float:
+        """Fleet-wide enqueued backlog in predicted decode tokens."""
+        return sum(
+            pool.pending_predicted_tokens(self.predictor)
+            for pool in self.pools.values()
+        )
 
     # -- routing --------------------------------------------------------------
     def submit(self, request: LLMRequest) -> Event:

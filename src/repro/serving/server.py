@@ -26,6 +26,7 @@ from repro.core.metrics import (
     mean,
     percentile,
 )
+from repro.serving.admission import ClassAdmissionStats
 from repro.serving.cluster import ScalingEvent
 from repro.serving.loadgen import ArrivalPlan
 
@@ -77,6 +78,13 @@ class ServingResult:
     replica_seconds: float = 0.0
     # Elastic-capacity actions taken during the run (empty without autoscaling).
     scaling_events: List[ScalingEvent] = field(default_factory=list)
+    # Door-level admission accounting per traffic class ("" = unlabelled
+    # requests).  Driver-served runs record every arrival here, open door or
+    # not; the counts cover the whole run (door events cannot be warm-up
+    # trimmed the way completion metrics are).
+    admission_stats: Dict[str, ClassAdmissionStats] = field(default_factory=dict)
+    # Experiment-wide p95 latency SLO declared in MeasurementSpec (None = none).
+    slo_p95_s: Optional[float] = None
 
     @property
     def num_completed(self) -> int:
@@ -116,7 +124,7 @@ class ServingResult:
             return 0.0
         return mean([1.0 if result.answer_correct else 0.0 for result in self.results])
 
-    # -- admission queueing (max_concurrency) --------------------------------
+    # -- admission control ----------------------------------------------------
     @property
     def num_queued(self) -> int:
         """Requests that waited at the door before a worker slot opened."""
@@ -131,6 +139,43 @@ class ServingResult:
         if not self.admission_delays:
             return 0.0
         return percentile(self.admission_delays, 95.0)
+
+    @property
+    def num_rejected(self) -> int:
+        """Requests the admission policy shed instead of serving."""
+        return sum(stats.rejected for stats in self.admission_stats.values())
+
+    @property
+    def rejection_rate(self) -> float:
+        """Shed fraction of the offered load (0.0 with an open door)."""
+        offered = sum(stats.offered for stats in self.admission_stats.values())
+        if offered == 0:
+            return 0.0
+        return self.num_rejected / offered
+
+    @property
+    def shed_tokens(self) -> float:
+        """Estimated decode tokens the fleet avoided by shedding requests."""
+        return sum(stats.shed_tokens for stats in self.admission_stats.values())
+
+    @property
+    def slo_attainment(self) -> Optional[float]:
+        """Fraction of measured requests meeting the experiment-wide p95 SLO.
+
+        ``None`` when the spec declares no experiment-wide SLO; per-class
+        SLOs live in :attr:`class_stats`.
+        """
+        if self.slo_p95_s is None:
+            return None
+        if not self.results:
+            return 0.0
+        return mean(
+            [1.0 if latency <= self.slo_p95_s else 0.0 for latency in self.latencies]
+        )
+
+    def per_class_admission(self) -> List[Dict[str, object]]:
+        """One flat row per traffic class of the door accounting."""
+        return [stats.as_dict() for stats in self.admission_stats.values()]
 
 
 def _spec_from_config(config: ServingConfig, arrival) -> "object":

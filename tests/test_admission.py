@@ -1,0 +1,431 @@
+"""Admission-control: golden pins, policy units, spec validation, reporting.
+
+The concurrency golden pin asserts that routing the legacy ``max_concurrency``
+gate through the admission registry is a pure refactor: every metric of a
+gated run must be bit-for-bit identical whichever way the gate is declared.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.agents import AgentConfig
+from repro.api import (
+    AdmissionSpec,
+    ArrivalSpec,
+    ExperimentSpec,
+    MeasurementSpec,
+    WeightedWorkload,
+    run_experiment,
+)
+from repro.serving.admission import (
+    ADMIT,
+    DELAY,
+    REJECT,
+    ConcurrencyAdmission,
+    SloShedAdmission,
+    TokenBucketAdmission,
+    available_admission_policies,
+    build_admission_policy,
+)
+
+
+def agent_spec(**overrides) -> ExperimentSpec:
+    defaults = dict(
+        agent="react",
+        workload="hotpotqa",
+        model="8b",
+        agent_config=AgentConfig(max_iterations=5),
+        max_decode_chunk=8,
+        seed=0,
+        arrival=ArrivalSpec(process="poisson", qps=3.0, num_requests=10, task_pool_size=8),
+    )
+    defaults.update(overrides)
+    return ExperimentSpec(**defaults)
+
+
+MIXTURE = dict(
+    workloads=(
+        WeightedWorkload(agent="chatbot", workload="sharegpt", weight=0.6, name="chat"),
+        WeightedWorkload(agent="react", workload="hotpotqa", weight=0.4, name="agent"),
+    ),
+    agent_config=AgentConfig(max_iterations=5),
+    arrival=ArrivalSpec(process="poisson", qps=4.0, num_requests=16, task_pool_size=8),
+    max_decode_chunk=8,
+    seed=0,
+)
+
+
+class TestConcurrencyGoldenPin:
+    """admission='concurrency' must reproduce max_concurrency bit-for-bit."""
+
+    METRICS = (
+        "mean_latency",
+        "p95_latency",
+        "energy_wh",
+        "throughput_qps",
+        "duration",
+        "kv_average_bytes",
+        "preemptions",
+        "prefix_cache_hit_rate",
+        "num_queued",
+        "mean_admission_delay",
+        "p95_admission_delay",
+    )
+
+    def test_registry_gate_is_bit_for_bit_identical(self):
+        legacy = run_experiment(agent_spec(max_concurrency=2)).serving
+        registry = run_experiment(
+            agent_spec(admission=AdmissionSpec(policy="concurrency", max_concurrency=2))
+        ).serving
+        for metric in self.METRICS:
+            assert getattr(registry, metric) == getattr(legacy, metric), metric
+        assert registry.latencies == legacy.latencies
+        assert registry.admission_delays == legacy.admission_delays
+        assert legacy.num_queued > 0  # the gate actually engaged
+
+    def test_string_shorthand_inherits_spec_cap(self):
+        legacy = run_experiment(agent_spec(max_concurrency=2)).serving
+        shorthand = run_experiment(
+            agent_spec(max_concurrency=2, admission="concurrency")
+        ).serving
+        assert shorthand.latencies == legacy.latencies
+        assert shorthand.admission_delays == legacy.admission_delays
+
+    def test_unlimited_policy_matches_open_door(self):
+        open_door = run_experiment(agent_spec()).serving
+        unlimited = run_experiment(agent_spec(admission="unlimited")).serving
+        assert unlimited.latencies == open_door.latencies
+        assert unlimited.num_rejected == 0
+        assert unlimited.rejection_rate == 0.0
+
+
+class TestTokenBucketRefill:
+    """Refill timing of the token bucket, request by request."""
+
+    def test_burst_then_rate(self):
+        bucket = TokenBucketAdmission(rate_qps=2.0, burst=3)
+        # The bucket starts full: the burst is admitted back to back.
+        assert [bucket.decide(0.0, None) for _ in range(3)] == [ADMIT] * 3
+        # Empty bucket: delayed, next token half a second out (rate 2/s).
+        assert bucket.decide(0.0, None) == DELAY
+        assert bucket.retry_at(0.0) == pytest.approx(0.5)
+        # At the refill instant exactly one token has accrued.
+        assert bucket.decide(0.5, None) == ADMIT
+        assert bucket.decide(0.5, None) == DELAY
+
+    def test_refill_caps_at_burst(self):
+        bucket = TokenBucketAdmission(rate_qps=10.0, burst=2)
+        for _ in range(2):
+            assert bucket.decide(0.0, None) == ADMIT
+        # A long quiet period refills to burst, not beyond.
+        assert [bucket.decide(100.0, None) for _ in range(3)] == [ADMIT, ADMIT, DELAY]
+
+    def test_reject_mode_sheds_instead_of_queueing(self):
+        bucket = TokenBucketAdmission(rate_qps=1.0, burst=1, overload_action="reject")
+        assert bucket.decide(0.0, None) == ADMIT
+        assert bucket.decide(0.0, None) == REJECT
+        assert bucket.retry_at(0.0) is None  # reject mode never re-offers
+
+    def test_retry_chain_is_rate_spaced(self):
+        bucket = TokenBucketAdmission(rate_qps=4.0, burst=1)
+        assert bucket.decide(0.0, None) == ADMIT
+        retries = []
+        now = 0.0
+        for _ in range(3):
+            now = bucket.retry_at(now)
+            retries.append(now)
+            assert bucket.decide(now, None) == ADMIT
+        assert retries == [pytest.approx(0.25 * (i + 1)) for i in range(3)]
+
+    def test_end_to_end_delay_spacing(self):
+        # Rate 0.5/s, burst 1 against a 4-request burst: completions are
+        # spaced at least ~2s apart once the bucket empties.
+        spec = ExperimentSpec(
+            agent="chatbot",
+            workload="sharegpt",
+            max_decode_chunk=8,
+            arrival=ArrivalSpec(
+                process="uniform", qps=8.0, num_requests=4, task_pool_size=4
+            ),
+            admission=AdmissionSpec(policy="token-bucket", rate_qps=0.5, burst=1),
+        )
+        result = run_experiment(spec).serving
+        assert result.num_completed == 4
+        assert result.num_rejected == 0
+        delays = sorted(result.admission_delays)
+        assert delays[0] == 0.0  # the burst token
+        # Admissions are refill-spaced exactly 1/rate = 2s apart while the
+        # arrivals land 1/qps = 0.125s apart, so the k-th queued request
+        # waits k * (2 - 0.125) seconds.
+        for index, delay in enumerate(delays[1:], start=1):
+            assert delay == pytest.approx((2.0 - 0.125) * index)
+
+
+class TestSloShedHysteresis:
+    """Synthetic burst against the shed gate's enter/exit thresholds."""
+
+    def _policy(self) -> SloShedAdmission:
+        return SloShedAdmission(
+            slo_p95_s=10.0, window_s=100.0, enter_factor=1.0, exit_factor=0.5
+        )
+
+    def test_engages_above_slo_and_holds_until_exit_threshold(self):
+        policy = self._policy()
+        # Healthy completions: projection below the SLO, gate open.
+        policy.observe(1.0, None, 5.0, 100)
+        assert policy.decide(1.0, None) == ADMIT
+        assert not policy.shed_active
+        # A latency spike pushes the rolling p95 over the SLO: gate sheds.
+        for time in (2.0, 3.0, 4.0):
+            policy.observe(time, None, 20.0, 100)
+        assert policy.decide(4.0, None) == REJECT
+        assert policy.shed_active
+        # Recovery to just under the SLO is NOT enough -- hysteresis holds
+        # the gate closed until the projection falls below slo * exit_factor.
+        for time in range(5, 40):
+            policy.observe(float(time), None, 6.0, 100)
+        cleared = 104.0  # spike completions age out of the 100s window
+        assert policy.rolling_p95(cleared) < 10.0  # p95 back under the SLO
+        assert policy.rolling_p95(cleared) > 5.0   # ...but above the exit bar
+        assert policy.decide(cleared, None) == REJECT
+        assert policy.shed_active
+        # Only once the projection clears slo * exit_factor does it reopen.
+        reopened = 150.0  # every 6s completion has aged out too
+        assert policy.decide(reopened, None) == ADMIT
+        assert not policy.shed_active
+        # The transition log shows exactly one engage/disengage cycle.
+        assert [active for _, active in policy.transitions] == [True, False]
+
+    def test_protect_class_filters_observations(self):
+        policy = SloShedAdmission(slo_p95_s=1.0, window_s=50.0, protect_class="chat")
+        policy.observe(0.0, "agent", 99.0, 100)  # unprotected class: ignored
+        assert policy.decide(1.0, "agent") == ADMIT
+        policy.observe(2.0, "chat", 99.0, 100)  # protected class violates
+        assert policy.decide(3.0, "agent") == REJECT
+
+    def test_mixture_sheds_agent_class_only(self):
+        spec = ExperimentSpec(
+            measurement=MeasurementSpec(class_slos=(("chat", 6.0),)),
+            admission=AdmissionSpec(
+                per_class=(
+                    (
+                        "agent",
+                        AdmissionSpec(
+                            policy="slo-shed", protect_class="chat", window_s=20.0
+                        ),
+                    ),
+                )
+            ),
+            **MIXTURE,
+        )
+        outcome = run_experiment(spec)
+        door = outcome.admission_stats
+        assert door["chat"].rejected == 0
+        assert door["agent"].rejected > 0
+        assert outcome.num_rejected == door["agent"].rejected
+        assert outcome.rejection_rate > 0.0
+        assert outcome.shed_tokens > 0.0
+        # Per-class reporting carries the SLO and the door accounting.
+        chat = outcome.class_stats["chat"]
+        assert chat.slo_p95_s == 6.0
+        assert chat.slo_attainment is not None
+        agent = outcome.class_stats["agent"]
+        assert agent.rejected == door["agent"].rejected
+        assert agent.rejection_rate > 0.0
+        # Rejections are attributed to the pool that would have served them.
+        pool = outcome.pool_stats["default"]
+        assert pool.rejected_requests == outcome.num_rejected
+        assert pool.shed_tokens == pytest.approx(outcome.shed_tokens)
+
+
+class TestAdmissionSpecValidation:
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="unknown admission policy"):
+            AdmissionSpec(policy="bouncer")
+        assert "slo-shed" in available_admission_policies()
+
+    def test_token_bucket_requires_rate(self):
+        with pytest.raises(ValueError, match="rate_qps"):
+            AdmissionSpec(policy="token-bucket")
+
+    def test_rate_only_for_token_bucket(self):
+        with pytest.raises(ValueError, match="does not take rate_qps"):
+            AdmissionSpec(policy="unlimited", rate_qps=1.0)
+
+    def test_hysteresis_factors_ordered(self):
+        with pytest.raises(ValueError, match="exit_factor"):
+            AdmissionSpec(policy="slo-shed", slo_p95_s=1.0, exit_factor=1.5)
+
+    def test_per_class_cannot_nest(self):
+        inner = AdmissionSpec(
+            policy="unlimited",
+            per_class=(("chat", AdmissionSpec()),),
+        )
+        with pytest.raises(ValueError, match="cannot nest"):
+            AdmissionSpec(per_class=(("agent", inner),))
+
+    def test_concurrency_needs_a_cap_somewhere(self):
+        with pytest.raises(ValueError, match="max_concurrency"):
+            agent_spec(admission="concurrency")
+
+    def test_cap_cannot_be_set_twice(self):
+        with pytest.raises(ValueError, match="not both"):
+            agent_spec(
+                max_concurrency=2,
+                admission=AdmissionSpec(policy="concurrency", max_concurrency=3),
+            )
+
+    def test_slo_shed_needs_an_slo(self):
+        with pytest.raises(ValueError, match="needs an SLO"):
+            agent_spec(admission="slo-shed")
+
+    def test_slo_shed_inherits_measurement_slo(self):
+        spec = agent_spec(
+            admission="slo-shed", measurement=MeasurementSpec(slo_p95_s=5.0)
+        )
+        assert spec.admission.policy == "slo-shed"
+
+    def test_admission_requires_serving_arrival(self):
+        with pytest.raises(ValueError, match="serving arrival"):
+            agent_spec(
+                arrival=ArrivalSpec(process="single", num_requests=4),
+                admission="unlimited",
+            )
+
+    def test_per_class_label_must_exist(self):
+        with pytest.raises(ValueError, match="unknown traffic class"):
+            ExperimentSpec(
+                admission=AdmissionSpec(
+                    per_class=(("voice", AdmissionSpec(policy="unlimited")),)
+                ),
+                **MIXTURE,
+            )
+
+    def test_class_slos_label_must_exist(self):
+        with pytest.raises(ValueError, match="unknown traffic class"):
+            ExperimentSpec(
+                measurement=MeasurementSpec(class_slos=(("voice", 1.0),)),
+                **MIXTURE,
+            )
+
+    def test_round_trip_serialisation(self):
+        spec = ExperimentSpec(
+            measurement=MeasurementSpec(warmup_requests=2, class_slos=(("chat", 2.5),)),
+            admission=AdmissionSpec(
+                policy="token-bucket",
+                rate_qps=2.0,
+                burst=4,
+                per_class=(
+                    (
+                        "agent",
+                        AdmissionSpec(
+                            policy="slo-shed", protect_class="chat", exit_factor=0.7
+                        ),
+                    ),
+                ),
+            ),
+            **MIXTURE,
+        )
+        rebuilt = ExperimentSpec.from_dict(spec.to_dict())
+        assert rebuilt == spec
+
+    def test_build_admission_policy_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown admission policy"):
+            build_admission_policy("bouncer")
+
+    def test_custom_registered_policy_is_constructed(self):
+        from repro.serving.admission import (
+            ADMISSION_POLICIES,
+            AdmissionPolicy,
+            ADMIT,
+            register_admission_policy,
+        )
+
+        @register_admission_policy
+        class EveryOther(AdmissionPolicy):
+            name = "every-other"
+
+            def __init__(self):
+                self.count = 0
+
+            def decide(self, now, traffic_class):
+                self.count += 1
+                return ADMIT
+
+        try:
+            policy = build_admission_policy("every-other")
+            assert isinstance(policy, EveryOther)
+            assert policy.decide(0.0, None) == ADMIT
+        finally:
+            ADMISSION_POLICIES.pop("every-other", None)
+
+
+class TestWarmupValidation:
+    """warmup_requests can never silently produce an empty measured window."""
+
+    def test_spec_build_rejects_oversized_warmup(self):
+        with pytest.raises(ValueError, match="warmup_requests must be smaller"):
+            ExperimentSpec(
+                arrival=ArrivalSpec(process="poisson", qps=1.0, num_requests=4),
+                measurement=MeasurementSpec(warmup_requests=7),
+            )
+
+    def test_spec_build_rejects_warmup_equal_to_requests(self):
+        with pytest.raises(ValueError, match="warmup_requests must be smaller"):
+            ExperimentSpec(
+                arrival=ArrivalSpec(process="single", num_requests=3),
+                measurement=MeasurementSpec(warmup_requests=3),
+            )
+
+    def test_serve_rejects_plans_shorter_than_warmup(self):
+        # The legacy AgentServer.serve(plan) path takes arbitrary plans that
+        # bypass spec-level validation; the driver must refuse rather than
+        # silently measure an empty window.
+        from repro.api import SystemBuilder, ServingDriver
+        from repro.serving.loadgen import poisson_plan
+
+        spec = ExperimentSpec(
+            agent="chatbot",
+            workload="sharegpt",
+            max_decode_chunk=8,
+            arrival=ArrivalSpec(process="poisson", qps=2.0, num_requests=9),
+            measurement=MeasurementSpec(warmup_requests=3),
+        )
+        system = SystemBuilder(spec).build()
+        driver = ServingDriver(system)
+        short = poisson_plan(
+            system.workload, qps=2.0, num_requests=2,
+            stream=system.stream.substream("plan/short"), task_pool_size=2,
+        )
+        with pytest.raises(ValueError, match="warmup_requests"):
+            driver.serve(short)
+
+    def test_characterization_rejects_explicit_tasks_shorter_than_warmup(self):
+        # Explicit task lists bypass the arrival.num_requests validation.
+        spec = ExperimentSpec(
+            agent="chatbot",
+            workload="sharegpt",
+            max_decode_chunk=8,
+            arrival=ArrivalSpec(process="single", num_requests=10),
+            measurement=MeasurementSpec(warmup_requests=5),
+        )
+        from repro.api import SystemBuilder
+
+        tasks = SystemBuilder(spec).build().workload.sample_tasks(3)
+        with pytest.raises(ValueError, match="warmup_requests"):
+            run_experiment(spec, tasks=tasks)
+
+    def test_characterization_honours_warmup(self):
+        base = ExperimentSpec(
+            agent="chatbot",
+            workload="sharegpt",
+            max_decode_chunk=8,
+            arrival=ArrivalSpec(process="single", num_requests=5),
+        )
+        full = run_experiment(base)
+        warm = run_experiment(
+            base.with_overrides(measurement=MeasurementSpec(warmup_requests=2))
+        )
+        assert warm.num_requests == 3
+        assert warm.latencies == full.latencies[2:]
