@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Regenerate the committed pytest-benchmark baseline the CI `bench` job
+# compares against (benchmarks/BENCH_baseline.json).
+#
+# Run this after an *accepted* performance change -- a faster hot path, a new
+# benchmark file, or an intentional slowdown traded for a feature -- then
+# commit the refreshed baseline together with the change that motivated it.
+# The bench job fails any benchmark whose mean regresses more than 25%
+# against this file, so a stale baseline turns every future run red.
+#
+# Usage, from the repository root:
+#   scripts/refresh_bench_baseline.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+python -m pytest benchmarks -q \
+  --benchmark-json=benchmarks/BENCH_baseline.json
+
+echo
+echo "Refreshed benchmarks/BENCH_baseline.json -- review and commit it"
+echo "together with the change that motivated the refresh."

@@ -4,6 +4,10 @@ from repro.analysis.admission import (
     AdmissionStudyResult,
     admission_study,
 )
+from repro.analysis.predictive_scaling import (
+    PredictiveScalingResult,
+    predictive_scaling_study,
+)
 from repro.analysis.reporting import format_table, format_value, print_table
 from repro.analysis.figures import (
     CharacterizationMatrix,
@@ -31,7 +35,9 @@ __all__ = [
     "AdmissionStudyResult",
     "CharacterizationMatrix",
     "MixedFleetResult",
+    "PredictiveScalingResult",
     "admission_study",
+    "predictive_scaling_study",
     "characterization_matrix",
     "default_config",
     "mixed_fleet",

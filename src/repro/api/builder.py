@@ -30,6 +30,7 @@ from repro.serving.admission import (
 )
 from repro.serving.autoscaler import Autoscaler
 from repro.serving.cluster import Cluster, ReplicaPool
+from repro.serving.forecast import build_forecaster
 from repro.sim import Environment, RandomStream
 from repro.tools.base import ToolSet
 from repro.workloads import create_workload
@@ -214,6 +215,11 @@ class SystemBuilder:
         slo = sub.slo_p95_s
         if slo is None and sub.policy.lower() == "slo-shed":
             slo = self.spec.measurement.slo_for(sub.protect_class or None)
+        # A cooperative gate projects at the autoscaler's forecast horizon,
+        # so both controllers reason about the same look-ahead window.
+        horizon_s = 10.0
+        if self.spec.autoscaler is not None:
+            horizon_s = self.spec.autoscaler.horizon_s
         return build_admission_policy(
             sub.policy,
             max_concurrency=(
@@ -230,6 +236,8 @@ class SystemBuilder:
             exit_factor=sub.exit_factor,
             protect_class=sub.protect_class or None,
             load_probe=probe,
+            cooperative=sub.cooperative,
+            horizon_s=horizon_s,
         )
 
     def build_admission(self, cluster: Cluster) -> AdmissionController:
@@ -264,6 +272,19 @@ class SystemBuilder:
         if scaling is None:
             return None
         pool = cluster.pool(scaling.pool) if scaling.pool else cluster.default_pool
+        # Predictive mode needs a forecaster fed by the arrival timeline (the
+        # serving driver feeds it) and the cluster's shared decode predictor
+        # for backlog pricing; reactive mode takes neither, keeping the
+        # golden-pinned legacy behaviour untouched.
+        forecaster = None
+        if scaling.mode == "predictive":
+            forecaster = build_forecaster(
+                scaling.forecaster,
+                window_s=scaling.forecaster_window_s,
+                bucket_s=scaling.forecaster_bucket_s,
+                alpha=scaling.forecaster_alpha,
+                beta=scaling.forecaster_beta,
+            )
         return Autoscaler(
             env,
             pool,
@@ -276,6 +297,10 @@ class SystemBuilder:
             scale_down_pending_per_replica=scaling.scale_down_pending_per_replica,
             p95_slo_s=scaling.p95_slo_s,
             p95_window_s=scaling.p95_window_s,
+            mode=scaling.mode,
+            forecaster=forecaster,
+            horizon_s=scaling.horizon_s,
+            predictor=cluster.predictor,
         )
 
     def build(self) -> System:

@@ -169,6 +169,21 @@ class ResultSet:
             return None
         return self.serving.slo_attainment
 
+    # -- predictive autoscaling -------------------------------------------------
+    @property
+    def forecast_mae(self) -> Optional[float]:
+        """Mean absolute arrival-rate forecast error (predictive runs only)."""
+        if self.serving is None:
+            return None
+        return self.serving.forecast_mae
+
+    @property
+    def scale_ahead_lead_s(self) -> Optional[float]:
+        """Mean head start of forecast-triggered grows over the reactive trigger."""
+        if self.serving is None:
+            return None
+        return self.serving.scale_ahead_lead_s
+
     def per_class_admission(self) -> List[Dict[str, Any]]:
         """One flat row per traffic class of the door accounting."""
         if self.serving is None:
@@ -195,4 +210,8 @@ class ResultSet:
             summary["rejection_rate"] = self.rejection_rate
             if self.slo_attainment is not None:
                 summary["slo_attainment"] = self.slo_attainment
+            if self.forecast_mae is not None:
+                summary["forecast_mae"] = self.forecast_mae
+            if self.scale_ahead_lead_s is not None:
+                summary["scale_ahead_lead_s"] = self.scale_ahead_lead_s
         return summary

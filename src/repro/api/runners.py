@@ -161,6 +161,41 @@ class ServingDriver:
         self._admission_delays: List[float] = []
         # (time, energy snapshot) at the moment the warm-up window closed.
         self._warmup_boundary: Optional[Tuple[float, object]] = None
+        # Which traffic classes feed the autoscaler's arrival forecaster:
+        # only arrivals the autoscaled pool would serve count as its demand
+        # (None = every arrival; the single-pool case).
+        self._forecast_labels: Optional[set] = self._forecast_label_filter()
+
+    def _forecast_label_filter(self) -> Optional[set]:
+        """Traffic-class labels whose arrivals land on the autoscaled pool.
+
+        Class-level approximation of the cluster's two-stage routing: labels
+        the pool claims, plus -- when the pool is the default -- unlabelled
+        arrivals and labels no pool claims (``None`` in the set stands for
+        both).  Decode-length classification and cross-pool spill are not
+        modelled; the forecast is a demand estimate, not an exact router.
+        ``None`` (match everything) for single-pool fleets or no forecaster.
+        """
+        autoscaler = self.system.autoscaler
+        if autoscaler is None or autoscaler.forecaster is None:
+            return None
+        cluster = self.system.cluster
+        if len(cluster.pools) == 1:
+            return None
+        pool = autoscaler.pool
+        labels: set = {label.lower() for label in pool.traffic_classes}
+        if pool is cluster.default_pool:
+            claimed_elsewhere = {
+                label
+                for other in cluster.pools.values()
+                if other is not pool
+                for label in other.traffic_classes
+            }
+            labels.add(None)
+            for runtime in self.system.traffic.values():
+                if runtime.label.lower() not in claimed_elsewhere:
+                    labels.add(runtime.label.lower())
+        return labels
 
     # -- agent/worker assembly ------------------------------------------------
     def _make_agent(self, label: Optional[str] = None):
@@ -212,6 +247,7 @@ class ServingDriver:
     ) -> None:
         from repro.serving.admission import ADMIT, DELAY
 
+        self._note_arrival(label)
         decision = self.admission.offer(self.env.now, label)
         if decision == ADMIT:
             self._admission_delays.append(0.0)
@@ -221,6 +257,21 @@ class ServingDriver:
             self._door_queue_for(policy).append((self.env.now, task, label, collected))
             self._schedule_retry(policy)
         # REJECT: the request is shed; the controller recorded it.
+
+    def _note_arrival(self, label: Optional[str]) -> None:
+        """Feed the arrival timeline to the autoscaler's forecaster (if any).
+
+        Only arrivals the autoscaled pool would serve count: forecasting the
+        fleet-wide rate would size one pool for every pool's demand.
+        """
+        autoscaler = self.system.autoscaler
+        if autoscaler is None or autoscaler.forecaster is None:
+            return
+        if self._forecast_labels is not None:
+            key = label.lower() if isinstance(label, str) else label
+            if key not in self._forecast_labels:
+                return
+        autoscaler.forecaster.observe(self.env.now)
 
     def _on_worker_done(self, label: Optional[str], result: AgentRunResult) -> None:
         self.admission.on_complete(
@@ -394,6 +445,14 @@ class ServingDriver:
         # Price shed requests at the run's final per-class token means before
         # the per-pool snapshot is taken.
         self.admission.finalize_shed_estimates()
+        # Forecast telemetry (predictive autoscaling only): realised forecast
+        # error and the head start each forecast-triggered grow bought.
+        forecast_mae = None
+        scale_ahead_leads: List[float] = []
+        autoscaler = system.autoscaler
+        if autoscaler is not None and autoscaler.forecaster is not None:
+            forecast_mae = autoscaler.forecast_mae(end_time)
+            scale_ahead_leads = list(autoscaler.scale_ahead_leads)
         return ServingResult(
             config=compat_serving_config(self.spec),
             offered_qps=offered_qps,
@@ -420,6 +479,8 @@ class ServingDriver:
             scaling_events=list(system.cluster.scaling_events),
             admission_stats=self.admission.class_stats(),
             slo_p95_s=self.spec.measurement.slo_p95_s,
+            forecast_mae=forecast_mae,
+            scale_ahead_leads=scale_ahead_leads,
         )
 
     def _pool_stats(

@@ -35,6 +35,7 @@ from repro.serving.admission import (
     ADMISSION_POLICIES,
     available_admission_policies,
 )
+from repro.serving.forecast import FORECASTERS, available_forecasters
 from repro.serving.cluster import ROUTER_POLICIES, available_router_policies
 from repro.workloads import available_workloads
 
@@ -153,7 +154,12 @@ class AdmissionSpec:
       ``slo_p95_s=None`` inherits the SLO :class:`MeasurementSpec` declares
       for ``protect_class``; ``protect_class`` names the traffic class whose
       latency the gate protects (the shedding applies to whatever classes
-      route to this policy).
+      route to this policy).  ``cooperative=True`` couples the gate to the
+      experiment's autoscaler: the SLO projection is taken at the
+      autoscaler's forecast horizon with in-flight scale-ups credited, so
+      work is shed only when warm replicas cannot land in time (and
+      un-shed as they arrive).  Requires an :class:`AutoscalerSpec` on the
+      experiment.
 
     ``per_class`` overrides the policy per traffic class:
     ``(("agent", AdmissionSpec(policy="slo-shed", protect_class="chat")),)``
@@ -171,6 +177,7 @@ class AdmissionSpec:
     window_s: float = 30.0
     enter_factor: float = 1.0
     exit_factor: float = 0.8
+    cooperative: bool = False
     per_class: Tuple[Tuple[str, "AdmissionSpec"], ...] = ()
 
     def __post_init__(self) -> None:
@@ -178,6 +185,11 @@ class AdmissionSpec:
             raise ValueError(
                 f"unknown admission policy {self.policy!r}; "
                 f"known: {available_admission_policies()}"
+            )
+        if self.cooperative and self.policy.lower() != "slo-shed":
+            raise ValueError(
+                "cooperative admission is an slo-shed option "
+                f"(policy is {self.policy!r})"
             )
         if self.max_concurrency is not None and self.max_concurrency < 1:
             raise ValueError("admission max_concurrency must be >= 1 (or None)")
@@ -316,12 +328,24 @@ class WeightedWorkload:
 class AutoscalerSpec:
     """Elastic sizing of one pool from load signals.
 
-    ``pool=""`` targets the default (first) pool.  Scale-up triggers when
-    pending requests per provisioned replica exceed
+    ``pool=""`` targets the default (first) pool.  In the default
+    ``mode="reactive"`` (the historical behaviour, golden-pinned), scale-up
+    triggers when pending requests per provisioned replica exceed
     ``scale_up_pending_per_replica`` or the rolling p95 of LLM latencies
     violates ``p95_slo_s`` (when set); scale-down when the queue falls below
     ``scale_down_pending_per_replica`` with no SLO pressure.  New replicas
     pay for capacity immediately but take traffic only after ``warmup_s``.
+
+    ``mode="predictive"`` scales *ahead* of demand instead: an arrival
+    ``forecaster`` (:mod:`repro.serving.forecast` registry: ``none`` |
+    ``windowed-rate`` | ``ewma`` | ``holt``) projects the arrival rate over
+    the next ``horizon_s``, the controller converts it into a decode-token
+    demand (times the mean decode length of recent requests, plus the
+    predictor-estimated backlog), and provisions the replicas needed to
+    clear it -- so warm-up cost is paid before the burst lands, not during
+    it.  ``forecaster_*`` parameterise the forecaster (window for
+    ``windowed-rate``; bucket/alpha[/beta] for the smoothers); parameters a
+    forecaster does not take are ignored.
     """
 
     pool: str = ""
@@ -334,6 +358,13 @@ class AutoscalerSpec:
     scale_down_pending_per_replica: float = 1.0
     p95_slo_s: Optional[float] = None
     p95_window_s: float = 30.0
+    mode: str = "reactive"
+    forecaster: str = "windowed-rate"
+    horizon_s: float = 10.0
+    forecaster_window_s: float = 10.0
+    forecaster_bucket_s: float = 2.0
+    forecaster_alpha: float = 0.5
+    forecaster_beta: float = 0.3
 
     def __post_init__(self) -> None:
         if self.min_replicas < 1:
@@ -352,6 +383,22 @@ class AutoscalerSpec:
             raise ValueError("autoscaler p95_slo_s must be > 0 (or None)")
         if self.p95_window_s <= 0:
             raise ValueError("autoscaler p95_window_s must be > 0")
+        if self.mode not in ("reactive", "predictive"):
+            raise ValueError(
+                f"unknown autoscaler mode {self.mode!r}; "
+                "known: ['reactive', 'predictive']"
+            )
+        if self.forecaster.lower() not in FORECASTERS:
+            raise ValueError(
+                f"unknown arrival forecaster {self.forecaster!r}; "
+                f"known: {available_forecasters()}"
+            )
+        if self.horizon_s <= 0:
+            raise ValueError("autoscaler horizon_s must be > 0")
+        if self.forecaster_window_s <= 0 or self.forecaster_bucket_s <= 0:
+            raise ValueError("forecaster window/bucket must be > 0")
+        if not 0 < self.forecaster_alpha <= 1 or not 0 < self.forecaster_beta <= 1:
+            raise ValueError("forecaster alpha/beta must be in (0, 1]")
 
 
 @dataclass(frozen=True)
@@ -514,6 +561,11 @@ class ExperimentSpec:
                         f"admission protect_class names unknown traffic class "
                         f"{sub.protect_class!r}; mixture classes: {sorted(known_classes)}"
                     )
+            if sub.cooperative and self.autoscaler is None:
+                raise ValueError(
+                    f"{scope!r} cooperative admission requires an autoscaler "
+                    "(it consults in-flight scale-ups)"
+                )
             if sub.policy.lower() == "slo-shed" and sub.slo_p95_s is None:
                 resolved = self.measurement.slo_for(sub.protect_class or None)
                 if resolved is None:

@@ -33,6 +33,9 @@ Built-in policies:
   Engagement is hysteretic: shedding starts when the projection exceeds
   ``slo_p95_s * enter_factor`` and stops only once it falls below
   ``slo_p95_s * exit_factor``, so the gate does not flap around the SLO.
+  With ``cooperative=True`` the projection additionally credits in-flight
+  autoscaler scale-ups landing within the forecast horizon, so the gate
+  sheds only when warm replicas cannot catch up in time.
 
 Policies are consulted per traffic class through the
 :class:`AdmissionController`, which owns the per-class policy table and all
@@ -108,6 +111,38 @@ class ClusterLoadProbe:
         if rate <= 0.0:
             return 0.0
         return self.pending_predicted_tokens() / rate
+
+    # -- scale-ahead signals (cooperative admission) -------------------------
+    def active_replicas(self) -> int:
+        """Replicas currently taking traffic across every pool."""
+        return sum(pool.num_active for pool in self.cluster.pools.values())
+
+    def warming_replicas_within(self, now: float, horizon_s: float) -> int:
+        """In-flight scale-ups fleet-wide whose warm-up lands within the horizon."""
+        return sum(
+            pool.warming_replicas_within(now, horizon_s)
+            for pool in self.cluster.pools.values()
+        )
+
+    def projected_drain_seconds(
+        self, now: float, window_s: float, horizon_s: float
+    ) -> float:
+        """Backlog drain time at the rate the fleet sustains *after* in-flight
+        scale-ups land.
+
+        The recently sustained decode rate is credited pro-rata for every
+        warming replica whose warm-up completes within ``horizon_s`` -- the
+        signal cooperative admission sheds against, so load the autoscaler is
+        already absorbing is not shed twice.
+        """
+        drain = self.backlog_drain_seconds(now, window_s)
+        if drain <= 0.0:
+            return drain
+        active = self.active_replicas()
+        landing = self.warming_replicas_within(now, horizon_s)
+        if active > 0 and landing > 0:
+            drain *= active / (active + landing)
+        return drain
 
 
 # ---------------------------------------------------------------------------
@@ -262,6 +297,15 @@ class SloShedAdmission(AdmissionPolicy):
     ``slo_p95_s * exit_factor`` (``exit_factor <= enter_factor``), recorded
     in :attr:`transitions` as ``(time, shed_active)`` pairs.
 
+    **Cooperative mode** (``cooperative=True``) couples the gate to the
+    autoscaler instead of fighting it: the backlog-drain half of the
+    projection is priced at the decode rate the fleet will sustain once
+    in-flight scale-ups land within ``horizon_s``
+    (:meth:`ClusterLoadProbe.projected_drain_seconds`), so the gate sheds
+    only when warm replicas cannot catch up in time -- and un-sheds as they
+    arrive, because each landing replica both raises the realised decode
+    rate and leaves the warming count behind.
+
     While shedding, requests routed to this policy are rejected
     (``overload_action="reject"``, the default) or held at the door and
     re-offered every ``retry_interval_s`` (``"delay"``, the deprioritising
@@ -280,6 +324,8 @@ class SloShedAdmission(AdmissionPolicy):
         overload_action: str = "reject",
         load_probe: Optional[ClusterLoadProbe] = None,
         retry_interval_s: Optional[float] = None,
+        cooperative: bool = False,
+        horizon_s: float = 10.0,
     ):
         if slo_p95_s <= 0:
             raise ValueError("slo-shed slo_p95_s must be > 0")
@@ -291,6 +337,8 @@ class SloShedAdmission(AdmissionPolicy):
             raise ValueError(
                 f"slo-shed overload_action must be {DELAY!r} or {REJECT!r}"
             )
+        if horizon_s <= 0:
+            raise ValueError("slo-shed horizon_s must be > 0")
         self.slo_p95_s = slo_p95_s
         self.window_s = window_s
         self.enter_factor = enter_factor
@@ -298,6 +346,8 @@ class SloShedAdmission(AdmissionPolicy):
         self.protect_class = protect_class
         self.overload_action = overload_action
         self.load_probe = load_probe
+        self.cooperative = cooperative
+        self.horizon_s = horizon_s
         self.retry_interval_s = (
             window_s / 4.0 if retry_interval_s is None else retry_interval_s
         )
@@ -333,13 +383,23 @@ class SloShedAdmission(AdmissionPolicy):
         return percentile([latency for _, latency in self._completions], 95.0)
 
     def projected_p95(self, now: float) -> float:
-        """Latency a newly admitted protected request is projected to see."""
+        """Latency a newly admitted protected request is projected to see.
+
+        Cooperative gates project at the *forecast horizon*: the backlog is
+        drained at the decode rate the fleet will sustain once in-flight
+        scale-ups land, so capacity already bought is not shed against.
+        """
         memo = self._projection_memo
         if memo is not None and memo[0] == now:
             return memo[1]
         projection = self.rolling_p95(now)
         if self.load_probe is not None:
-            projection += self.load_probe.backlog_drain_seconds(now, self.window_s)
+            if self.cooperative:
+                projection += self.load_probe.projected_drain_seconds(
+                    now, self.window_s, self.horizon_s
+                )
+            else:
+                projection += self.load_probe.backlog_drain_seconds(now, self.window_s)
         self._projection_memo = (now, projection)
         return projection
 
@@ -398,6 +458,8 @@ def build_admission_policy(
     exit_factor: float = 0.8,
     protect_class: Optional[str] = None,
     load_probe: Optional[ClusterLoadProbe] = None,
+    cooperative: bool = False,
+    horizon_s: float = 10.0,
 ) -> AdmissionPolicy:
     """Instantiate a registered admission policy from declarative parameters.
 
@@ -434,6 +496,8 @@ def build_admission_policy(
             protect_class=protect_class,
             overload_action=overload_action or REJECT,
             load_probe=load_probe,
+            cooperative=cooperative,
+            horizon_s=horizon_s,
         )
     # Externally registered policies are built with their default
     # constructor; parameterise them by registering a pre-configured class.

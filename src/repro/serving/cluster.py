@@ -201,6 +201,10 @@ class ReplicaPool:
         # Warm-up timeouts currently pending (background events for liveness
         # checks, like the autoscaler heartbeat).
         self.activation_timers: List[Event] = []
+        # replica index -> simulated time its pending warm-up completes.
+        # Cooperative admission reads this to know how much capacity is
+        # already in flight and when it lands.
+        self.warming_etas: Dict[int, float] = {}
         for _ in range(num_replicas):
             index = self._new_replica()
             self._active[index] = True
@@ -240,6 +244,7 @@ class ReplicaPool:
             index = self._new_replica()
         self._span_start[index] = now
         if warmup_s > 0:
+            self.warming_etas[index] = now + warmup_s
             self.env.process(self._activate_after(index, warmup_s))
         else:
             self._active[index] = True
@@ -253,8 +258,27 @@ class ReplicaPool:
         self.activation_timers.append(timer)
         yield timer
         self.activation_timers.remove(timer)
+        self.warming_etas.pop(index, None)
         if self._span_start[index] is not None:
             self._active[index] = True
+
+    @property
+    def num_warming(self) -> int:
+        """Replicas provisioned but still inside their warm-up window."""
+        return sum(
+            1
+            for index in self.warming_etas
+            if self._span_start[index] is not None
+        )
+
+    def warming_replicas_within(self, now: float, horizon_s: float) -> int:
+        """In-flight scale-ups whose warm-up completes within the horizon."""
+        deadline = now + horizon_s
+        return sum(
+            1
+            for index, eta in self.warming_etas.items()
+            if self._span_start[index] is not None and eta <= deadline
+        )
 
     def shrink(self, reason: str = "") -> Optional[int]:
         """Deactivate the active replica with the least in-flight work.

@@ -1,0 +1,287 @@
+"""Arrival-rate forecasting: the look-ahead half of predictive autoscaling.
+
+An :class:`ArrivalForecaster` watches the arrival timeline (the serving
+driver feeds it every request the instant it reaches the door, before any
+admission decision) and answers one question: *what arrival rate should the
+fleet expect over the next horizon?*  The predictive
+:class:`~repro.serving.autoscaler.Autoscaler` mode converts that rate --
+times the predicted decode length per request -- into a target replica
+count and scales ahead of the demand by the pool's warm-up time.
+
+Built-in forecasters:
+
+* :class:`NoForecaster` (``none``) -- predicts zero future arrivals; a
+  predictive autoscaler degenerates to sizing for the backlog already
+  enqueued (useful as the look-ahead-free control arm of a study),
+* :class:`WindowedRateForecaster` (``windowed-rate``) -- persistence
+  forecasting: the rate observed over the trailing ``window_s`` is assumed
+  to continue through the horizon.  Reacts fast, but lags ramps by half a
+  window and has no notion of trend,
+* :class:`EwmaForecaster` (``ewma``) -- exponentially weighted moving
+  average of per-bucket arrival rates; smoother than the raw window (burst
+  noise is damped by ``alpha``) but, like persistence, trend-blind,
+* :class:`HoltForecaster` (``holt``) -- double exponential smoothing
+  (Holt's linear method): a level *and* a trend term, extrapolated
+  ``horizon_s`` ahead.  The only built-in that scales ahead of a ramp
+  instead of chasing it.
+
+Every forecaster also keeps the books needed to score itself: each
+:meth:`~ArrivalForecaster.forecast_rate` call is logged, and once simulated
+time passes the forecast's target the realised arrival rate over the
+forecast interval is known, giving the absolute forecast error reported in
+:class:`~repro.api.results.ResultSet` (``forecast_mae``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple, Type
+
+from repro.registry import PolicyRegistry
+
+
+class ArrivalForecaster:
+    """Predicts the arrival rate the fleet will see over a future horizon.
+
+    Subclasses implement :meth:`_predict_rate`; the base class owns the
+    arrival timeline (:meth:`observe`), the forecast log, and the error
+    accounting (:meth:`mean_absolute_error`).  Rates are requests/second.
+    """
+
+    name = "base"
+
+    def __init__(self) -> None:
+        #: Observed arrival timestamps, append-ordered (simulated seconds).
+        self.arrivals: List[float] = []
+        # (made_at, target_time, predicted_rate) per forecast_rate call.
+        self._forecasts: List[Tuple[float, float, float]] = []
+
+    # -- timeline ------------------------------------------------------------
+    def observe(self, t: float) -> None:
+        """Record one arrival at simulated time ``t``."""
+        self.arrivals.append(t)
+
+    def _arrivals_between(self, start: float, end: float) -> int:
+        """Arrivals observed in ``(start, end]`` (binary search on the timeline)."""
+        import bisect
+
+        lo = bisect.bisect_right(self.arrivals, start)
+        hi = bisect.bisect_right(self.arrivals, end)
+        return hi - lo
+
+    # -- forecasting ---------------------------------------------------------
+    def forecast_rate(self, now: float, horizon_s: float) -> float:
+        """Predicted mean arrival rate (req/s) over ``[now, now + horizon_s]``.
+
+        The forecast is logged so its error can be scored once simulated
+        time reaches the target.
+        """
+        if horizon_s <= 0:
+            raise ValueError("forecast horizon_s must be > 0")
+        rate = max(0.0, self._predict_rate(now, horizon_s))
+        self._forecasts.append((now, now + horizon_s, rate))
+        return rate
+
+    def _predict_rate(self, now: float, horizon_s: float) -> float:
+        raise NotImplementedError
+
+    # -- error accounting ----------------------------------------------------
+    def matured_errors(self, now: float) -> List[float]:
+        """|predicted - realised| rate for every forecast whose target passed."""
+        errors: List[float] = []
+        for made_at, target, predicted in self._forecasts:
+            if target > now:
+                continue
+            horizon = target - made_at
+            actual = self._arrivals_between(made_at, target) / horizon
+            errors.append(abs(predicted - actual))
+        return errors
+
+    def mean_absolute_error(self, now: float) -> Optional[float]:
+        """Mean absolute rate error over matured forecasts (``None`` if none)."""
+        errors = self.matured_errors(now)
+        if not errors:
+            return None
+        return sum(errors) / len(errors)
+
+    @property
+    def num_forecasts(self) -> int:
+        return len(self._forecasts)
+
+
+class NoForecaster(ArrivalForecaster):
+    """Predicts zero future arrivals (the look-ahead-free control arm)."""
+
+    name = "none"
+
+    def _predict_rate(self, now: float, horizon_s: float) -> float:
+        return 0.0
+
+
+class WindowedRateForecaster(ArrivalForecaster):
+    """Persistence forecasting: the trailing-window rate continues unchanged."""
+
+    name = "windowed-rate"
+
+    def __init__(self, window_s: float = 10.0) -> None:
+        super().__init__()
+        if window_s <= 0:
+            raise ValueError("windowed-rate window_s must be > 0")
+        self.window_s = window_s
+
+    def _predict_rate(self, now: float, horizon_s: float) -> float:
+        span = min(self.window_s, now) if now > 0 else self.window_s
+        if span <= 0:
+            return 0.0
+        return self._arrivals_between(now - span, now) / span
+
+
+class _BucketedForecaster(ArrivalForecaster):
+    """Shared machinery: arrivals folded into fixed buckets of per-bucket rate.
+
+    Subclasses consume one closed bucket at a time through :meth:`_update`
+    (empty buckets included -- a smoother that never sees zeros cannot track
+    a dying burst down).
+    """
+
+    def __init__(self, bucket_s: float = 2.0) -> None:
+        super().__init__()
+        if bucket_s <= 0:
+            raise ValueError("forecaster bucket_s must be > 0")
+        self.bucket_s = bucket_s
+        self._bucket_start = 0.0
+        self._bucket_count = 0
+
+    def observe(self, t: float) -> None:
+        self._fold_until(t)
+        super().observe(t)
+        self._bucket_count += 1
+
+    def _fold_until(self, t: float) -> None:
+        """Close every bucket that fully elapsed before ``t``."""
+        while t >= self._bucket_start + self.bucket_s:
+            self._update(self._bucket_count / self.bucket_s)
+            self._bucket_count = 0
+            self._bucket_start += self.bucket_s
+
+    def _update(self, rate: float) -> None:
+        raise NotImplementedError
+
+
+class EwmaForecaster(_BucketedForecaster):
+    """EWMA of per-bucket arrival rates; the smoothed level is the forecast."""
+
+    name = "ewma"
+
+    def __init__(self, bucket_s: float = 2.0, alpha: float = 0.5) -> None:
+        super().__init__(bucket_s)
+        if not 0 < alpha <= 1:
+            raise ValueError("ewma alpha must be in (0, 1]")
+        self.alpha = alpha
+        self.level: Optional[float] = None
+
+    def _update(self, rate: float) -> None:
+        if self.level is None:
+            self.level = rate
+        else:
+            self.level = self.alpha * rate + (1 - self.alpha) * self.level
+
+    def _predict_rate(self, now: float, horizon_s: float) -> float:
+        self._fold_until(now)
+        return self.level if self.level is not None else 0.0
+
+
+class HoltForecaster(_BucketedForecaster):
+    """Holt's linear (double exponential) smoothing: level + trend look-ahead.
+
+    ``level`` tracks the smoothed rate, ``trend`` its per-bucket slope; the
+    forecast extrapolates ``horizon_s / bucket_s`` buckets ahead, floored at
+    zero (arrival rates cannot go negative).
+    """
+
+    name = "holt"
+
+    def __init__(
+        self, bucket_s: float = 2.0, alpha: float = 0.5, beta: float = 0.3
+    ) -> None:
+        super().__init__(bucket_s)
+        if not 0 < alpha <= 1:
+            raise ValueError("holt alpha must be in (0, 1]")
+        if not 0 < beta <= 1:
+            raise ValueError("holt beta must be in (0, 1]")
+        self.alpha = alpha
+        self.beta = beta
+        self.level: Optional[float] = None
+        self.trend = 0.0
+
+    def _update(self, rate: float) -> None:
+        if self.level is None:
+            self.level = rate
+            self.trend = 0.0
+            return
+        previous = self.level
+        self.level = self.alpha * rate + (1 - self.alpha) * (self.level + self.trend)
+        self.trend = self.beta * (self.level - previous) + (1 - self.beta) * self.trend
+
+    def _predict_rate(self, now: float, horizon_s: float) -> float:
+        self._fold_until(now)
+        if self.level is None:
+            return 0.0
+        # forecast_rate's contract is the MEAN rate over the horizon, not the
+        # endpoint: for a linear trend over buckets 1..k that mean is
+        # level + trend * (k + 1) / 2.
+        steps = horizon_s / self.bucket_s
+        return self.level + self.trend * (steps + 1.0) / 2.0
+
+
+FORECASTER_REGISTRY = PolicyRegistry("arrival forecaster")
+#: name -> class mapping (keys are lower-case); kept for membership checks.
+FORECASTERS: Dict[str, Type[ArrivalForecaster]] = FORECASTER_REGISTRY.policies
+
+
+def register_forecaster(
+    forecaster_class: Type[ArrivalForecaster],
+) -> Type[ArrivalForecaster]:
+    """Register a forecaster under its ``name`` (also usable as a decorator)."""
+    return FORECASTER_REGISTRY.register(forecaster_class)
+
+
+register_forecaster(NoForecaster)
+register_forecaster(WindowedRateForecaster)
+register_forecaster(EwmaForecaster)
+register_forecaster(HoltForecaster)
+
+
+def available_forecasters() -> List[str]:
+    return FORECASTER_REGISTRY.available()
+
+
+def build_forecaster(
+    name: str,
+    *,
+    window_s: float = 10.0,
+    bucket_s: float = 2.0,
+    alpha: float = 0.5,
+    beta: float = 0.3,
+) -> ArrivalForecaster:
+    """Instantiate a registered forecaster from declarative parameters.
+
+    Parameters a forecaster does not take are ignored, so one spec
+    vocabulary covers the whole registry.  Raises :class:`ValueError` for
+    unknown names.
+    """
+    key = name.lower()
+    if key not in FORECASTERS:
+        raise ValueError(
+            f"unknown arrival forecaster {name!r}; known: {available_forecasters()}"
+        )
+    if key == "none":
+        return NoForecaster()
+    if key == "windowed-rate":
+        return WindowedRateForecaster(window_s=window_s)
+    if key == "ewma":
+        return EwmaForecaster(bucket_s=bucket_s, alpha=alpha)
+    if key == "holt":
+        return HoltForecaster(bucket_s=bucket_s, alpha=alpha, beta=beta)
+    # Externally registered forecasters are built with their default
+    # constructor; parameterise them by registering a pre-configured class.
+    return FORECASTER_REGISTRY.create(name)

@@ -85,10 +85,23 @@ class ServingResult:
     admission_stats: Dict[str, ClassAdmissionStats] = field(default_factory=dict)
     # Experiment-wide p95 latency SLO declared in MeasurementSpec (None = none).
     slo_p95_s: Optional[float] = None
+    # -- predictive-autoscaling telemetry (None/empty without a forecaster) --
+    # Mean absolute arrival-rate forecast error (req/s) over matured forecasts.
+    forecast_mae: Optional[float] = None
+    # Per forecast-triggered grow: seconds of head start over the reactive
+    # trigger (queue pressure crossing the scale-up threshold).
+    scale_ahead_leads: List[float] = field(default_factory=list)
 
     @property
     def num_completed(self) -> int:
         return len(self.results)
+
+    @property
+    def scale_ahead_lead_s(self) -> Optional[float]:
+        """Mean scale-ahead lead time (``None`` without predictive grows)."""
+        if not self.scale_ahead_leads:
+            return None
+        return mean(self.scale_ahead_leads)
 
     @property
     def latencies(self) -> List[float]:

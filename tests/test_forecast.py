@@ -1,0 +1,233 @@
+"""Arrival-forecaster registry: construction, folding, and accuracy.
+
+Accuracy is scored on deterministic synthetic arrival traces (no RNG --
+arrival times are produced by integrating a known rate function), covering
+the three shapes predictive autoscaling must survive: a linear *ramp*, a
+square-wave *burst*, and a sinusoidal *diurnal* cycle.  The assertions pin
+the qualitative ordering, not absolute errors: every real forecaster beats
+the ``none`` baseline, and only the trend-aware ``holt`` forecaster keeps
+up with a ramp.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List
+
+import pytest
+
+from repro.serving.forecast import (
+    ArrivalForecaster,
+    EwmaForecaster,
+    HoltForecaster,
+    NoForecaster,
+    WindowedRateForecaster,
+    available_forecasters,
+    build_forecaster,
+    register_forecaster,
+)
+
+
+# ---------------------------------------------------------------------------
+# Synthetic traces: arrival times from integrating a known rate function
+# ---------------------------------------------------------------------------
+
+
+def trace_from_rate(rate: Callable[[float], float], t_end: float) -> List[float]:
+    """Deterministic arrival times with instantaneous rate ``rate(t)``."""
+    arrivals: List[float] = []
+    t = 0.0
+    while t < t_end:
+        t += 1.0 / rate(t)
+        arrivals.append(t)
+    return arrivals
+
+
+def ramp_trace() -> List[float]:
+    """Rate climbs linearly 1 -> 11 req/s over 60 s."""
+    return trace_from_rate(lambda t: 1.0 + t / 6.0, 60.0)
+
+
+def burst_trace() -> List[float]:
+    """Square wave: 1 req/s baseline, 10 req/s burst over t in [20, 40)."""
+    return trace_from_rate(lambda t: 10.0 if 20.0 <= t < 40.0 else 1.0, 60.0)
+
+
+def diurnal_trace() -> List[float]:
+    """Sinusoidal rate 3 +- 2 req/s with a 60 s period, two cycles."""
+    return trace_from_rate(
+        lambda t: 3.0 + 2.0 * math.sin(2 * math.pi * t / 60.0), 120.0
+    )
+
+
+def score(forecaster: ArrivalForecaster, trace: List[float], horizon_s: float = 5.0) -> float:
+    """Drive the forecaster along the trace, forecasting every 2 s; return MAE."""
+    pending = iter(trace)
+    upcoming = next(pending)
+    t, end = 4.0, trace[-1]
+    while t < end:
+        while upcoming is not None and upcoming <= t:
+            forecaster.observe(upcoming)
+            upcoming = next(pending, None)
+        forecaster.forecast_rate(t, horizon_s)
+        t += 2.0
+    error = forecaster.mean_absolute_error(end)
+    assert error is not None
+    return error
+
+
+TRACES: Dict[str, List[float]] = {
+    "ramp": ramp_trace(),
+    "burst": burst_trace(),
+    "diurnal": diurnal_trace(),
+}
+
+
+# ---------------------------------------------------------------------------
+# Registry and construction
+# ---------------------------------------------------------------------------
+
+
+class TestForecasterRegistry:
+    def test_builtins_registered(self):
+        assert available_forecasters() == ["ewma", "holt", "none", "windowed-rate"]
+
+    def test_build_by_name_case_insensitive(self):
+        assert isinstance(build_forecaster("none"), NoForecaster)
+        assert isinstance(build_forecaster("HOLT"), HoltForecaster)
+        assert isinstance(build_forecaster("ewma"), EwmaForecaster)
+        assert isinstance(build_forecaster("Windowed-Rate"), WindowedRateForecaster)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown arrival forecaster"):
+            build_forecaster("arima")
+
+    def test_build_threads_parameters(self):
+        windowed = build_forecaster("windowed-rate", window_s=4.0)
+        assert windowed.window_s == 4.0
+        holt = build_forecaster("holt", bucket_s=1.0, alpha=0.7, beta=0.2)
+        assert (holt.bucket_s, holt.alpha, holt.beta) == (1.0, 0.7, 0.2)
+
+    def test_custom_forecaster_registration(self):
+        class ConstantForecaster(ArrivalForecaster):
+            name = "constant-test"
+
+            def _predict_rate(self, now, horizon_s):
+                return 2.5
+
+        try:
+            register_forecaster(ConstantForecaster)
+            built = build_forecaster("constant-test")
+            assert built.forecast_rate(1.0, 5.0) == 2.5
+        finally:
+            from repro.serving.forecast import FORECASTERS
+
+            FORECASTERS.pop("constant-test", None)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            WindowedRateForecaster(window_s=0.0)
+        with pytest.raises(ValueError):
+            EwmaForecaster(alpha=0.0)
+        with pytest.raises(ValueError):
+            HoltForecaster(beta=1.5)
+        with pytest.raises(ValueError):
+            EwmaForecaster(bucket_s=-1.0)
+
+    def test_forecast_requires_positive_horizon(self):
+        with pytest.raises(ValueError, match="horizon_s"):
+            NoForecaster().forecast_rate(1.0, 0.0)
+
+
+# ---------------------------------------------------------------------------
+# Mechanics
+# ---------------------------------------------------------------------------
+
+
+class TestForecasterMechanics:
+    def test_windowed_rate_counts_trailing_window(self):
+        forecaster = WindowedRateForecaster(window_s=10.0)
+        for t in (1.0, 2.0, 3.0, 14.0, 15.0):
+            forecaster.observe(t)
+        # At t=16 the window (6, 16] holds two arrivals.
+        assert forecaster.forecast_rate(16.0, 5.0) == pytest.approx(0.2)
+
+    def test_windowed_rate_early_window_not_diluted(self):
+        # Before a full window has elapsed the rate divides by elapsed time,
+        # not the window span: 4 arrivals by t=2 is 2 req/s, not 0.4.
+        forecaster = WindowedRateForecaster(window_s=10.0)
+        for t in (0.5, 1.0, 1.5, 2.0):
+            forecaster.observe(t)
+        assert forecaster.forecast_rate(2.0, 5.0) == pytest.approx(2.0)
+
+    def test_ewma_folds_empty_buckets(self):
+        # A smoother that never sees empty buckets can never track a dying
+        # burst down; after a long silence the level must decay.
+        forecaster = EwmaForecaster(bucket_s=1.0, alpha=0.5)
+        for t in (0.1, 0.2, 0.3, 0.4):  # one hot bucket: 4 req/s
+            forecaster.observe(t)
+        hot = forecaster.forecast_rate(2.0, 5.0)
+        cold = forecaster.forecast_rate(10.0, 5.0)
+        assert cold < hot * 0.1
+
+    def test_holt_extrapolates_trend(self):
+        # Rising per-bucket rates give a positive trend: the forecast at a
+        # long horizon must exceed the last observed level.
+        forecaster = HoltForecaster(bucket_s=1.0, alpha=0.5, beta=0.5)
+        t = 0.0
+        for bucket, count in enumerate((1, 2, 3, 4, 5)):
+            for i in range(count):
+                forecaster.observe(bucket + (i + 1) / (count + 1))
+        short = forecaster.forecast_rate(5.0, 1.0)
+        long = forecaster.forecast_rate(5.0, 10.0)
+        assert forecaster.trend > 0
+        assert long > short
+
+    def test_forecast_never_negative(self):
+        # A falling trend extrapolated far ahead must floor at zero.
+        forecaster = HoltForecaster(bucket_s=1.0, alpha=0.8, beta=0.8)
+        for bucket, count in enumerate((8, 4, 2, 1, 0, 0)):
+            for i in range(count):
+                forecaster.observe(bucket + (i + 1) / (count + 1))
+        assert forecaster.forecast_rate(6.0, 50.0) == 0.0
+
+    def test_error_accounting_scores_matured_forecasts_only(self):
+        forecaster = NoForecaster()
+        for t in (1.0, 2.0, 3.0, 4.0):
+            forecaster.observe(t)
+        forecaster.forecast_rate(0.0, 4.0)   # matures at t=4: actual 1 req/s
+        forecaster.forecast_rate(4.0, 10.0)  # immature at t=5
+        assert forecaster.matured_errors(5.0) == [pytest.approx(1.0)]
+        assert forecaster.mean_absolute_error(5.0) == pytest.approx(1.0)
+        # Nothing matured yet at t=2.
+        assert forecaster.mean_absolute_error(2.0) is None
+
+
+# ---------------------------------------------------------------------------
+# Accuracy on synthetic traces
+# ---------------------------------------------------------------------------
+
+
+class TestForecasterAccuracy:
+    @pytest.mark.parametrize("trace_name", sorted(TRACES))
+    def test_every_real_forecaster_beats_the_none_baseline(self, trace_name):
+        trace = TRACES[trace_name]
+        baseline = score(NoForecaster(), trace)
+        for name in ("windowed-rate", "ewma", "holt"):
+            assert score(build_forecaster(name), trace) < baseline, name
+
+    def test_trend_aware_holt_wins_the_ramp(self):
+        # Persistence and EWMA chase a ramp from behind; Holt's trend term
+        # extrapolates it, cutting the error by a wide margin.
+        trace = TRACES["ramp"]
+        holt = score(build_forecaster("holt"), trace)
+        assert holt < score(build_forecaster("windowed-rate"), trace) * 0.5
+        assert holt < score(build_forecaster("ewma"), trace) * 0.5
+
+    def test_smoothing_damps_burst_noise(self):
+        # On the square wave the smoothed level overshoots less than raw
+        # persistence once the burst ends.
+        trace = TRACES["burst"]
+        assert score(build_forecaster("ewma"), trace) < score(
+            build_forecaster("windowed-rate"), trace
+        )
