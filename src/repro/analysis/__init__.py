@@ -4,6 +4,15 @@ from repro.analysis.admission import (
     AdmissionStudyResult,
     admission_study,
 )
+from repro.analysis.burst_profiles import (
+    BurstProfileResult,
+    burst_profile_study,
+    offline_accuracy,
+)
+from repro.analysis.fleet_sizing import (
+    FleetSizingResult,
+    fleet_sizing_study,
+)
 from repro.analysis.predictive_scaling import (
     PredictiveScalingResult,
     predictive_scaling_study,
@@ -33,10 +42,15 @@ from repro.analysis.tables import table1, table2, table3, table4
 
 __all__ = [
     "AdmissionStudyResult",
+    "BurstProfileResult",
     "CharacterizationMatrix",
+    "FleetSizingResult",
     "MixedFleetResult",
     "PredictiveScalingResult",
     "admission_study",
+    "burst_profile_study",
+    "fleet_sizing_study",
+    "offline_accuracy",
     "predictive_scaling_study",
     "characterization_matrix",
     "default_config",

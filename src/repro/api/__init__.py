@@ -29,9 +29,20 @@ and ``autoscaler=AutoscalerSpec(...)`` sizes a pool elastically from load
 signals; the :class:`ResultSet` then reports per-pool and per-traffic-class
 metrics plus replica-seconds (see ``examples/mixed_fleet.py``).
 
+Traffic programs and studies: ``ArrivalSpec(shape=...)`` modulates the
+arrival rate over time with a :mod:`repro.serving.shapes` rate shape
+(ramp / square-wave burst / diurnal / trace replay / piecewise), each
+``WeightedWorkload`` can carry its own shape so traffic classes burst
+independently, and :class:`StudySpec` / :func:`run_study` sweep named axes
+over *any* spec field (qps, shape, pool layouts, scheduler, forecaster,
+admission) into a :class:`StudyResult` with tabulation, slicing, and
+``pareto_frontier`` queries (see ``examples/fleet_sizing.py`` and
+``examples/burst_profiles.py``).
+
 The legacy entry points (``SingleRequestRunner``, ``AgentServer``,
 ``run_at_qps``, ``sweep_qps``) remain as thin compatibility shims over this
-layer and reproduce their historical results bit-for-bit.
+layer and reproduce their historical results bit-for-bit (``run_sweep`` is
+a one-axis study).
 """
 
 from repro.api.builder import System, SystemBuilder
@@ -52,6 +63,16 @@ from repro.api.spec import (
     PoolSpec,
     WeightedWorkload,
 )
+from repro.api.study import (
+    ParetoPoint,
+    StudyAxis,
+    StudyPoint,
+    StudyResult,
+    StudySpec,
+    apply_axis_value,
+    resolve_metric,
+    run_study,
+)
 
 __all__ = [
     "ARRIVAL_PROCESSES",
@@ -60,13 +81,21 @@ __all__ = [
     "AutoscalerSpec",
     "ExperimentSpec",
     "MeasurementSpec",
+    "ParetoPoint",
     "PoolSpec",
     "ResultSet",
     "ServingDriver",
+    "StudyAxis",
+    "StudyPoint",
+    "StudyResult",
+    "StudySpec",
     "System",
     "SystemBuilder",
     "WeightedWorkload",
+    "apply_axis_value",
     "compat_serving_config",
+    "resolve_metric",
     "run_experiment",
+    "run_study",
     "run_sweep",
 ]

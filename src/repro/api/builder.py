@@ -39,7 +39,11 @@ from repro.workloads.base import Workload
 
 @dataclass
 class TrafficClassRuntime:
-    """One traffic class of the mixture, bound to live machinery."""
+    """One traffic class of the mixture, bound to live machinery.
+
+    ``shape`` is the class's own rate modulation (``None`` = steady): the
+    load generator superposes each shaped class as its own arrival process.
+    """
 
     label: str
     agent: str
@@ -47,6 +51,7 @@ class TrafficClassRuntime:
     weight: float
     agent_config: object  # AgentConfig
     needs_tools: bool = True
+    shape: object = None  # Optional[RateShape]
 
 
 @dataclass
@@ -190,6 +195,7 @@ class SystemBuilder:
                 weight=mix.weight,
                 agent_config=mix.agent_config or spec.agent_config,
                 needs_tools=mix.needs_tools,
+                shape=mix.shape,
             )
         return traffic
 

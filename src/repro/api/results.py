@@ -190,6 +190,23 @@ class ResultSet:
             return []
         return self.serving.per_class_admission()
 
+    # -- metric vocabulary ------------------------------------------------------
+    def metric(self, name: str) -> float:
+        """Resolve a study-metric name on this result.
+
+        Accepts any :class:`ResultSet` attribute name (``replica_seconds``,
+        ``p95_latency``, ``energy_wh``, ``rejection_rate``, ...) or the
+        per-class form ``class_<stat>:<label>`` (``class_p95:chat``,
+        ``class_attainment:chat``, ``class_rejection:agent``) -- the same
+        vocabulary :meth:`repro.api.study.StudyResult.pareto_frontier` and
+        tabulation use, so a metric proven interactively drops straight
+        into a study query.
+        """
+        # Local import: study imports this module at load time.
+        from repro.api.study import resolve_metric
+
+        return resolve_metric(self, name)
+
     # -- reporting -------------------------------------------------------------
     def summary(self) -> Dict[str, Any]:
         """Flat metric dict, convenient for tables and JSON dumps."""

@@ -41,8 +41,10 @@ from repro.serving.loadgen import (
     mixture_plan,
     poisson_plan,
     sequential_plan,
+    shaped_plan,
     uniform_plan,
 )
+from repro.serving.shapes import ConstantShape
 from repro.serving.server import ServingConfig, ServingResult
 from repro.serving.sweep import QpsSweepResult
 from repro.workloads.base import Task
@@ -566,11 +568,12 @@ class ServingDriver:
 def _build_plan(system: System) -> ArrivalPlan:
     arrival = system.spec.arrival
     if system.traffic:
-        # Weighted traffic-class mixture: one arrival process, each request
-        # tagged with the class it was sampled from.
+        # Weighted traffic-class mixture: one arrival process (or, when any
+        # shape is declared, superposed per-class shaped processes), each
+        # request tagged with the class it was sampled from.
         return mixture_plan(
             [
-                (runtime.label, runtime.workload, runtime.weight)
+                (runtime.label, runtime.workload, runtime.weight, runtime.shape)
                 for runtime in system.traffic.values()
             ],
             qps=arrival.qps,
@@ -578,6 +581,21 @@ def _build_plan(system: System) -> ArrivalPlan:
             stream=system.stream.substream(f"mixture-plan/{arrival.qps}"),
             task_pool_size=arrival.task_pool_size,
             process=arrival.process,
+            shape=arrival.shape,
+            duration_s=arrival.duration_s,
+        )
+    if arrival.shape is not None or arrival.duration_s is not None:
+        # Shaped traffic program on a single workload (identity-shape plans
+        # delegate to the legacy generators inside shaped_plan).
+        return shaped_plan(
+            system.workload,
+            qps=arrival.qps,
+            shape=arrival.shape if arrival.shape is not None else ConstantShape(),
+            num_requests=arrival.num_requests,
+            stream=system.stream.substream(f"plan/{arrival.qps}"),
+            task_pool_size=arrival.task_pool_size,
+            process=arrival.process,
+            duration_s=arrival.duration_s,
         )
     if arrival.process == "poisson":
         return poisson_plan(
@@ -625,9 +643,22 @@ def run_experiment(
 
 
 def run_sweep(spec: ExperimentSpec, qps_values: Sequence[float]) -> QpsSweepResult:
-    """Run ``spec`` across several offered loads (fresh system per load)."""
-    sweep = QpsSweepResult(config=compat_serving_config(spec))
-    for qps in qps_values:
-        outcome = run_experiment(spec.at_qps(qps))
-        sweep.results.append(outcome.serving)
-    return sweep
+    """Run ``spec`` across several offered loads (fresh system per load).
+
+    Compatibility shim over a one-axis :class:`~repro.api.study.StudySpec`:
+    the ``qps`` axis applies :meth:`ExperimentSpec.at_qps` per point exactly
+    like the historical loop, so the returned sweep is bit-for-bit the
+    legacy result.  Reach for :func:`~repro.api.study.run_study` directly to
+    sweep anything beyond offered load.
+    """
+    from repro.api.study import StudyAxis, StudySpec, run_study
+
+    if not qps_values:
+        # The historical loop ran zero times; a study axis needs values.
+        return QpsSweepResult(config=compat_serving_config(spec))
+    study = StudySpec(
+        base=spec,
+        axes=(StudyAxis(name="qps", values=tuple(qps_values)),),
+        name="qps-sweep",
+    )
+    return run_study(study).as_qps_sweep()

@@ -37,6 +37,7 @@ from repro.serving.admission import (
 )
 from repro.serving.forecast import FORECASTERS, available_forecasters
 from repro.serving.cluster import ROUTER_POLICIES, available_router_policies
+from repro.serving.shapes import RateShape, build_shape, shape_from_dict
 from repro.workloads import available_workloads
 
 #: Arrival processes understood by the experiment runners.
@@ -48,7 +49,7 @@ TOOLLESS_AGENTS: Tuple[str, ...] = ("cot", "chatbot")
 
 @dataclass(frozen=True)
 class ArrivalSpec:
-    """How requests reach the system.
+    """How requests reach the system: a traffic program, not just a rate.
 
     * ``single`` -- one request at a time, back to back (the paper's
       characterization setup; Section IV-A/IV-B).
@@ -56,12 +57,28 @@ class ArrivalSpec:
     * ``uniform`` -- open-loop deterministic arrivals at ``qps``.
     * ``sequential`` -- closed-loop: all requests queued at t=0, served one
       at a time (the paper's sequential serving baseline).
+
+    Open-loop processes optionally carry a ``shape``: a
+    :class:`~repro.serving.shapes.RateShape` modulating the base rate over
+    time (the effective rate at ``t`` is ``qps * shape.level(t)``) --
+    ``constant`` | ``ramp`` | ``square-wave`` | ``diurnal`` | ``trace`` |
+    ``piecewise``, from the :mod:`repro.serving.shapes` registry.  A bare
+    shape name is shorthand for the shape with default parameters, and a
+    dict form (``{"kind": "ramp", ...}``) is accepted for deserialization.
+    ``shape=None`` (and the identity ``ConstantShape(1.0)``) reproduces the
+    legacy constant-rate arrivals bit-for-bit.
+
+    ``duration_s`` switches the plan from count semantics (exactly
+    ``num_requests`` arrivals) to span semantics: every arrival inside
+    ``[0, duration_s]``, with ``num_requests`` as a safety cap.
     """
 
     process: str = "single"
     qps: Optional[float] = None
     num_requests: int = 20
     task_pool_size: int = 48
+    shape: Optional[RateShape] = None
+    duration_s: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.process not in ARRIVAL_PROCESSES:
@@ -77,6 +94,38 @@ class ArrivalSpec:
                 raise ValueError(f"{self.process} arrivals require qps > 0")
         elif self.qps is not None:
             raise ValueError(f"{self.process} arrivals do not take a qps")
+        if isinstance(self.shape, str):
+            object.__setattr__(self, "shape", build_shape(self.shape))
+        elif isinstance(self.shape, dict):
+            object.__setattr__(self, "shape", shape_from_dict(self.shape))
+        if self.shape is not None:
+            if self.process not in ("poisson", "uniform"):
+                raise ValueError(
+                    f"{self.process} arrivals do not take a rate shape "
+                    "(shapes modulate open-loop processes)"
+                )
+            if not isinstance(self.shape, RateShape):
+                raise ValueError(
+                    f"arrival shape must be a RateShape (or a registered shape "
+                    f"name / dict), got {self.shape!r}"
+                )
+            if self.shape.max_level <= 0:
+                raise ValueError("arrival shape never reaches a positive rate")
+        if self.duration_s is not None:
+            if self.process not in ("poisson", "uniform"):
+                raise ValueError(
+                    f"{self.process} arrivals do not take a duration_s"
+                )
+            if self.duration_s <= 0:
+                raise ValueError("arrival duration_s must be > 0 (or None)")
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "ArrivalSpec":
+        """Rebuild from a plain-dict form (inverse of ``dataclasses.asdict``)."""
+        data = dict(payload)
+        if isinstance(data.get("shape"), dict):
+            data["shape"] = shape_from_dict(data["shape"])
+        return cls(**data)
 
 
 @dataclass(frozen=True)
@@ -299,6 +348,13 @@ class WeightedWorkload:
     load generator tags every sampled request with it, and pools claim
     classes through :attr:`PoolSpec.traffic_classes`.  ``agent_config=None``
     inherits the experiment-level agent config.
+
+    ``shape`` optionally gives this class its own
+    :class:`~repro.serving.shapes.RateShape` (bare names and dict forms are
+    accepted like :attr:`ArrivalSpec.shape`): the class arrives at
+    ``qps * normalized_weight * arrival_shape.level(t) * shape.level(t)``,
+    so one class can burst while the others stay steady -- the Table IV
+    scenario of agent spikes over a constant chat floor.
     """
 
     agent: str = "react"
@@ -306,6 +362,7 @@ class WeightedWorkload:
     weight: float = 1.0
     name: str = ""
     agent_config: Optional[AgentConfig] = None
+    shape: Optional[RateShape] = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -318,6 +375,19 @@ class WeightedWorkload:
             )
         if self.weight <= 0:
             raise ValueError(f"traffic class {self.name!r}: weight must be > 0")
+        if isinstance(self.shape, str):
+            object.__setattr__(self, "shape", build_shape(self.shape))
+        elif isinstance(self.shape, dict):
+            object.__setattr__(self, "shape", shape_from_dict(self.shape))
+        if self.shape is not None and not isinstance(self.shape, RateShape):
+            raise ValueError(
+                f"traffic class {self.name!r}: shape must be a RateShape "
+                f"(or a registered shape name / dict), got {self.shape!r}"
+            )
+        if self.shape is not None and self.shape.max_level <= 0:
+            raise ValueError(
+                f"traffic class {self.name!r}: shape never reaches a positive rate"
+            )
 
     @property
     def needs_tools(self) -> bool:
@@ -603,7 +673,7 @@ class ExperimentSpec:
         if isinstance(data.get("agent_config"), dict):
             data["agent_config"] = AgentConfig(**data["agent_config"])
         if isinstance(data.get("arrival"), dict):
-            data["arrival"] = ArrivalSpec(**data["arrival"])
+            data["arrival"] = ArrivalSpec.from_dict(data["arrival"])
         if isinstance(data.get("measurement"), dict):
             data["measurement"] = MeasurementSpec(**data["measurement"])
         if isinstance(data.get("admission"), dict):
@@ -622,6 +692,8 @@ class ExperimentSpec:
                     mix = dict(mix)
                     if isinstance(mix.get("agent_config"), dict):
                         mix["agent_config"] = AgentConfig(**mix["agent_config"])
+                    if isinstance(mix.get("shape"), dict):
+                        mix["shape"] = shape_from_dict(mix["shape"])
                     mix = WeightedWorkload(**mix)
                 mixes.append(mix)
             data["workloads"] = tuple(mixes)

@@ -1,0 +1,584 @@
+"""Declarative studies: named axes over any spec field, run as one grid.
+
+A :class:`StudySpec` generalises the qps-only sweep into the
+capacity-planning studies the paper's Table IV gestures at: declare a
+``base`` :class:`~repro.api.spec.ExperimentSpec` and a set of
+:class:`StudyAxis` -- each naming a spec field (any dotted path:
+``arrival.qps``, ``arrival.shape``, ``pools``, ``scheduler``,
+``autoscaler.forecaster``, ``admission``, ...) and the values to sweep --
+and :func:`run_study` expands the Cartesian grid (or an explicit
+``points`` list), runs every point with per-point seeds, and returns a
+:class:`StudyResult` supporting tabulation, per-axis slicing, and
+:meth:`~StudyResult.pareto_frontier` queries (e.g. replica-seconds vs
+per-class p95 -- the fleet-sizing study).
+
+``run_sweep`` is a one-axis study in disguise: the ``qps`` axis is
+shorthand for :meth:`ExperimentSpec.at_qps`, and
+:meth:`StudyResult.as_qps_sweep` rebuilds the legacy
+:class:`~repro.serving.sweep.QpsSweepResult` bit-for-bit.
+
+Metrics (for tabulation and Pareto queries) are either callables on the
+point's :class:`~repro.api.results.ResultSet` or metric-name strings:
+any ``ResultSet`` attribute (``replica_seconds``, ``p95_latency``,
+``energy_wh``, ``rejection_rate``, ...) or a per-class form
+``class_<stat>:<label>`` (``class_p95:chat``, ``class_attainment:chat``,
+``class_rejection:agent``, ``class_mean:...``, ``class_throughput:...``).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import asdict, dataclass, field, is_dataclass, replace
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.agents import AgentConfig
+from repro.api.results import ResultSet
+from repro.api.spec import (
+    AdmissionSpec,
+    ArrivalSpec,
+    AutoscalerSpec,
+    ExperimentSpec,
+    MeasurementSpec,
+    PoolSpec,
+    WeightedWorkload,
+)
+from repro.serving.shapes import RateShape, shape_from_dict
+
+#: A metric: a ResultSet attribute name / class_<stat>:<label> string, or a
+#: callable extracting a float from the point's ResultSet.
+Metric = Union[str, Callable[[Any], float]]
+
+_CLASS_METRIC_ATTRS: Dict[str, str] = {
+    "class_p95": "p95_latency_s",
+    "class_mean": "mean_latency_s",
+    "class_throughput": "throughput_qps",
+    "class_attainment": "slo_attainment",
+    "class_rejection": "rejection_rate",
+    "class_completed": "num_completed",
+}
+
+
+def resolve_metric(
+    outcome: Any, metric: Metric, missing_ok: bool = False
+) -> Optional[float]:
+    """Evaluate ``metric`` on one study point's outcome (see module docs).
+
+    Unknown metric names always raise (a typo must fail loudly, not render
+    as an empty column); ``missing_ok=True`` additionally tolerates metrics
+    that are legitimately absent on *this* outcome -- a traffic class the
+    point never served, or a ``None``-valued telemetry field such as
+    ``forecast_mae`` on a forecaster-less run -- returning ``None``.
+    """
+    if callable(metric):
+        value = metric(outcome)
+    elif isinstance(metric, str):
+        if ":" in metric:
+            name, label = metric.split(":", 1)
+            attr = _CLASS_METRIC_ATTRS.get(name)
+            if attr is None:
+                raise ValueError(
+                    f"unknown per-class metric {name!r}; "
+                    f"known: {sorted(_CLASS_METRIC_ATTRS)}"
+                )
+            stats = outcome.class_stats.get(label)
+            if stats is None:
+                if missing_ok:
+                    return None
+                raise ValueError(
+                    f"metric {metric!r}: outcome has no traffic class {label!r} "
+                    f"(classes: {sorted(outcome.class_stats)})"
+                )
+            value = getattr(stats, attr)
+        else:
+            if not hasattr(outcome, metric):
+                raise ValueError(f"outcome has no metric {metric!r}")
+            value = getattr(outcome, metric)
+    else:
+        raise ValueError(f"metric must be a name or callable, got {metric!r}")
+    if value is None:
+        if missing_ok:
+            return None
+        raise ValueError(f"metric {metric!r} is None on this outcome")
+    return float(value)
+
+
+def _default_label(value: Any) -> str:
+    """Short human label for an axis value (shapes, pool tuples, scalars)."""
+    if isinstance(value, RateShape):
+        return getattr(value, "kind", type(value).__name__)
+    if isinstance(value, tuple) and value and all(
+        isinstance(entry, PoolSpec) for entry in value
+    ):
+        return "+".join(f"{pool.name}x{pool.replicas}" for pool in value)
+    if isinstance(value, float):
+        return f"{value:g}"
+    if is_dataclass(value) and not isinstance(value, type):
+        return type(value).__name__
+    return str(value)
+
+
+@dataclass(frozen=True)
+class StudyAxis:
+    """One named dimension of a study grid.
+
+    ``field`` is the dotted spec path the values replace (defaults to
+    ``name``); the special path ``qps`` applies
+    :meth:`ExperimentSpec.at_qps` so sweeping load also switches
+    characterization specs to open-loop Poisson arrivals, exactly like the
+    legacy sweep.  ``labels`` (optional, same length as ``values``) are the
+    display names used in tables and slices.
+    """
+
+    name: str
+    values: Tuple[Any, ...]
+    field: str = ""
+    labels: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("study axis name must be non-empty")
+        if not isinstance(self.values, tuple):
+            object.__setattr__(self, "values", tuple(self.values))
+        if not self.values:
+            raise ValueError(f"study axis {self.name!r} needs at least one value")
+        if not isinstance(self.labels, tuple):
+            object.__setattr__(self, "labels", tuple(self.labels))
+        if self.labels and len(self.labels) != len(self.values):
+            raise ValueError(
+                f"study axis {self.name!r}: labels must match values "
+                f"({len(self.labels)} labels for {len(self.values)} values)"
+            )
+
+    @property
+    def path(self) -> str:
+        return self.field or self.name
+
+    def label_for(self, index: int) -> str:
+        if self.labels:
+            return self.labels[index]
+        return _default_label(self.values[index])
+
+
+def apply_axis_value(spec: ExperimentSpec, path: str, value: Any) -> ExperimentSpec:
+    """Copy ``spec`` with the field at dotted ``path`` replaced by ``value``.
+
+    ``qps`` is shorthand for :meth:`ExperimentSpec.at_qps`.  Intermediate
+    path segments must be dataclass fields (``arrival.shape``,
+    ``autoscaler.forecaster``, ``measurement.slo_p95_s``, ...); validation
+    reruns on construction, so an invalid point fails loudly at expansion
+    time rather than mid-study.
+    """
+    if path == "qps":
+        return spec.at_qps(value)
+    parts = path.split(".")
+
+    def _apply(obj: Any, remaining: List[str]) -> Any:
+        head = remaining[0]
+        if not is_dataclass(obj) or not hasattr(obj, head):
+            raise ValueError(
+                f"study axis path {path!r}: {type(obj).__name__} has no field {head!r}"
+            )
+        if len(remaining) == 1:
+            return replace(obj, **{head: value})
+        child = getattr(obj, head)
+        if child is None:
+            raise ValueError(
+                f"study axis path {path!r}: {head!r} is None on the base spec; "
+                "set a base value to sweep its fields"
+            )
+        return replace(obj, **{head: _apply(child, remaining[1:])})
+
+    return _apply(spec, parts)
+
+
+@dataclass(frozen=True)
+class StudySpec:
+    """A declarative study: a base spec plus the grid to explore around it.
+
+    Exactly one of ``axes`` (Cartesian grid) or ``points`` (explicit list
+    of ``{path: value}`` mappings) describes the exploration; ``seeds``
+    optionally repeats every point at several seeds (empty = the base
+    spec's seed).  Every point is validated at construction by actually
+    building its :class:`ExperimentSpec`.
+    """
+
+    base: ExperimentSpec
+    axes: Tuple[StudyAxis, ...] = ()
+    points: Tuple[Mapping[str, Any], ...] = ()
+    seeds: Tuple[int, ...] = ()
+    name: str = "study"
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.base, ExperimentSpec):
+            raise ValueError("study base must be an ExperimentSpec")
+        if not isinstance(self.axes, tuple):
+            object.__setattr__(self, "axes", tuple(self.axes))
+        if not isinstance(self.points, tuple):
+            object.__setattr__(self, "points", tuple(self.points))
+        if not isinstance(self.seeds, tuple):
+            object.__setattr__(self, "seeds", tuple(self.seeds))
+        if bool(self.axes) == bool(self.points):
+            raise ValueError("a study declares exactly one of axes or points")
+        names = [axis.name for axis in self.axes]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate study axis names: {names}")
+        for seed in self.seeds:
+            if not isinstance(seed, int) or seed < 0:
+                raise ValueError(f"study seeds must be non-negative ints, got {seed!r}")
+        if self.seeds:
+            swept_paths = {axis.path for axis in self.axes}
+            swept_paths.update(key for point in self.points for key in point)
+            if "seed" in swept_paths:
+                raise ValueError(
+                    "declare seeds either as the seeds= repetition or as a "
+                    "seed axis/point coordinate, not both"
+                )
+        # Eager validation: every grid point must build a valid spec.
+        for coords, _labels, seed in self.expand():
+            self.spec_for(coords, seed)
+
+    # -- expansion -------------------------------------------------------------
+    def expand(self) -> List[Tuple[Dict[str, Any], Dict[str, str], int]]:
+        """The full grid: (coords, labels, seed) per run, in execution order.
+
+        Axes expand in declared order with the last axis fastest and seeds
+        innermost, so execution order (and therefore per-point streams) is a
+        pure function of the study declaration.
+        """
+        seeds = self.seeds or (self.base.seed,)
+        expanded: List[Tuple[Dict[str, Any], Dict[str, str], int]] = []
+        if self.axes:
+            index_grid = itertools.product(
+                *[range(len(axis.values)) for axis in self.axes]
+            )
+            for indices in index_grid:
+                coords = {
+                    axis.name: axis.values[i] for axis, i in zip(self.axes, indices)
+                }
+                labels = {
+                    axis.name: axis.label_for(i) for axis, i in zip(self.axes, indices)
+                }
+                for seed in seeds:
+                    expanded.append((coords, labels, seed))
+        else:
+            for point in self.points:
+                coords = dict(point)
+                labels = {key: _default_label(value) for key, value in coords.items()}
+                for seed in seeds:
+                    expanded.append((coords, labels, seed))
+        return expanded
+
+    def spec_for(self, coords: Mapping[str, Any], seed: int) -> ExperimentSpec:
+        """The concrete :class:`ExperimentSpec` of one grid point."""
+        spec = self.base
+        paths = {axis.name: axis.path for axis in self.axes}
+        seed_swept = False
+        for name, value in coords.items():
+            path = paths.get(name, name)
+            seed_swept = seed_swept or path == "seed"
+            spec = apply_axis_value(spec, path, value)
+        # The per-point seed fills in when seeds aren't an axis themselves;
+        # a swept seed coordinate must never be overwritten back to the base.
+        if not seed_swept and seed != spec.seed:
+            spec = replace(spec, seed=seed)
+        return spec
+
+    @property
+    def num_points(self) -> int:
+        return len(self.expand())
+
+    # -- serialisation --------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict form (JSON-ready); inverse of :meth:`from_dict`."""
+        return {
+            "name": self.name,
+            "base": self.base.to_dict(),
+            "seeds": list(self.seeds),
+            "axes": [
+                {
+                    "name": axis.name,
+                    "field": axis.field,
+                    "labels": list(axis.labels),
+                    "values": [_encode_value(value) for value in axis.values],
+                }
+                for axis in self.axes
+            ],
+            "points": [
+                {key: _encode_value(value) for key, value in point.items()}
+                for point in self.points
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "StudySpec":
+        """Rebuild a study from :meth:`to_dict` output."""
+        return cls(
+            name=payload.get("name", "study"),
+            base=ExperimentSpec.from_dict(payload["base"]),
+            seeds=tuple(payload.get("seeds", ())),
+            axes=tuple(
+                StudyAxis(
+                    name=axis["name"],
+                    field=axis.get("field", ""),
+                    labels=tuple(axis.get("labels", ())),
+                    values=tuple(_decode_value(value) for value in axis["values"]),
+                )
+                for axis in payload.get("axes", ())
+            ),
+            points=tuple(
+                {key: _decode_value(value) for key, value in point.items()}
+                for point in payload.get("points", ())
+            ),
+        )
+
+
+#: Spec-vocabulary types an axis value may carry (type-tagged when encoded).
+_SPEC_VALUE_TYPES: Dict[str, type] = {
+    "PoolSpec": PoolSpec,
+    "WeightedWorkload": WeightedWorkload,
+    "AdmissionSpec": AdmissionSpec,
+    "AutoscalerSpec": AutoscalerSpec,
+    "ArrivalSpec": ArrivalSpec,
+    "MeasurementSpec": MeasurementSpec,
+}
+
+
+def _encode_value(value: Any) -> Any:
+    """JSON-ready encoding of an axis value (scalars, shapes, spec types)."""
+    if isinstance(value, RateShape):
+        return {"__shape__": value.to_dict()}
+    for tag, value_type in _SPEC_VALUE_TYPES.items():
+        if isinstance(value, value_type):
+            return {"__spec__": tag, "value": asdict(value)}
+    if isinstance(value, (tuple, list)):
+        return {"__seq__": [_encode_value(entry) for entry in value]}
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    raise ValueError(f"cannot serialise study axis value {value!r}")
+
+
+def _decode_value(value: Any) -> Any:
+    """Inverse of :func:`_encode_value`."""
+    if isinstance(value, dict):
+        if "__shape__" in value:
+            return shape_from_dict(value["__shape__"])
+        if "__spec__" in value:
+            value_type = _SPEC_VALUE_TYPES[value["__spec__"]]
+            payload = dict(value["value"])
+            if hasattr(value_type, "from_dict"):
+                return value_type.from_dict(payload)
+            if value_type is PoolSpec:
+                payload["traffic_classes"] = tuple(payload.get("traffic_classes", ()))
+            if value_type is WeightedWorkload:
+                if isinstance(payload.get("shape"), dict):
+                    payload["shape"] = shape_from_dict(payload["shape"])
+                if isinstance(payload.get("agent_config"), dict):
+                    payload["agent_config"] = AgentConfig(**payload["agent_config"])
+            if value_type is MeasurementSpec:
+                payload["class_slos"] = tuple(
+                    tuple(entry) for entry in payload.get("class_slos", ())
+                )
+            return value_type(**payload)
+        if "__seq__" in value:
+            return tuple(_decode_value(entry) for entry in value["__seq__"])
+    return value
+
+
+# ---------------------------------------------------------------------------
+# Results
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class StudyPoint:
+    """One executed grid point: its coordinates, spec, and outcome."""
+
+    coords: Dict[str, Any]
+    labels: Dict[str, str]
+    seed: int
+    spec: ExperimentSpec
+    outcome: ResultSet
+
+    def metric(self, metric: Metric, missing_ok: bool = False) -> Optional[float]:
+        return resolve_metric(self.outcome, metric, missing_ok=missing_ok)
+
+
+@dataclass(frozen=True)
+class ParetoPoint:
+    """One frontier member with its evaluated cost and quality."""
+
+    point: StudyPoint
+    cost: float
+    quality: float
+
+
+@dataclass
+class StudyResult:
+    """Outcome of :func:`run_study`: the executed grid, queryable."""
+
+    study: StudySpec
+    points: List[StudyPoint] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    @property
+    def axis_names(self) -> List[str]:
+        if self.study.axes:
+            return [axis.name for axis in self.study.axes]
+        names: List[str] = []
+        for point in self.points:
+            for name in point.coords:
+                if name not in names:
+                    names.append(name)
+        return names
+
+    def axis_values(self, name: str) -> List[Any]:
+        """The distinct values of one axis, in declared (execution) order."""
+        for axis in self.study.axes:
+            if axis.name == name:
+                return list(axis.values)
+        values: List[Any] = []
+        for point in self.points:
+            if name in point.coords and point.coords[name] not in values:
+                values.append(point.coords[name])
+        if not values:
+            raise ValueError(f"study has no axis {name!r}; known: {self.axis_names}")
+        return values
+
+    # -- slicing ---------------------------------------------------------------
+    def slice(self, **coords: Any) -> "StudyResult":
+        """The sub-study matching every given coordinate (value or label)."""
+        kept = [
+            point
+            for point in self.points
+            if all(
+                point.coords.get(name) == value or point.labels.get(name) == value
+                for name, value in coords.items()
+            )
+        ]
+        return StudyResult(study=self.study, points=kept)
+
+    # -- tabulation ------------------------------------------------------------
+    DEFAULT_METRICS: Tuple[Tuple[str, Metric], ...] = (
+        ("completed", "num_completed"),
+        ("p95_s", "p95_latency"),
+        ("throughput_qps", "throughput_qps"),
+        ("energy_wh", "energy_wh"),
+        ("replica_seconds", "replica_seconds"),
+        ("rejection_rate", "rejection_rate"),
+    )
+
+    def tabulate(
+        self, metrics: Optional[Sequence[Tuple[str, Metric]]] = None
+    ) -> List[Dict[str, Any]]:
+        """One flat row per point: axis labels, seed, and the given metrics."""
+        chosen = tuple(metrics) if metrics is not None else self.DEFAULT_METRICS
+        rows: List[Dict[str, Any]] = []
+        multi_seed = len({point.seed for point in self.points}) > 1
+        for point in self.points:
+            row: Dict[str, Any] = dict(point.labels)
+            if multi_seed:
+                row["seed"] = point.seed
+            for column, metric in chosen:
+                # missing_ok: a class the point never served or a None-valued
+                # telemetry field renders as an empty cell; unknown metric
+                # names still raise.
+                row[column] = point.metric(metric, missing_ok=True)
+            rows.append(row)
+        return rows
+
+    def format(
+        self,
+        title: str = "",
+        metrics: Optional[Sequence[Tuple[str, Metric]]] = None,
+    ) -> str:
+        """The tabulation rendered as an aligned text table."""
+        # Local import: repro.analysis imports repro.api at module load.
+        from repro.analysis.reporting import format_table
+
+        return format_table(self.tabulate(metrics), title or self.study.name)
+
+    # -- Pareto queries --------------------------------------------------------
+    def pareto_frontier(
+        self,
+        cost: Metric,
+        quality: Metric,
+        minimize_cost: bool = True,
+        minimize_quality: bool = True,
+    ) -> List[ParetoPoint]:
+        """The non-dominated points of the cost/quality plane.
+
+        Defaults minimise both (e.g. ``cost="replica_seconds"``,
+        ``quality="class_p95:chat"`` -- pay less, respond faster); flip
+        ``minimize_quality=False`` for maximised qualities such as
+        ``class_attainment:chat``.  Returns frontier members sorted by
+        cost, each with its evaluated coordinates.
+        """
+        evaluated = [
+            ParetoPoint(
+                point=point,
+                cost=point.metric(cost),
+                quality=point.metric(quality),
+            )
+            for point in self.points
+        ]
+        cost_sign = 1.0 if minimize_cost else -1.0
+        quality_sign = 1.0 if minimize_quality else -1.0
+
+        def dominates(a: ParetoPoint, b: ParetoPoint) -> bool:
+            better_cost = cost_sign * a.cost <= cost_sign * b.cost
+            better_quality = quality_sign * a.quality <= quality_sign * b.quality
+            strictly = (
+                cost_sign * a.cost < cost_sign * b.cost
+                or quality_sign * a.quality < quality_sign * b.quality
+            )
+            return better_cost and better_quality and strictly
+
+        frontier = [
+            candidate
+            for candidate in evaluated
+            if not any(dominates(other, candidate) for other in evaluated)
+        ]
+        return sorted(frontier, key=lambda entry: (cost_sign * entry.cost, entry.quality))
+
+    # -- legacy bridge ---------------------------------------------------------
+    def as_qps_sweep(self) -> Any:
+        """Rebuild the legacy :class:`QpsSweepResult` from a one-axis qps study."""
+        from repro.api.runners import compat_serving_config
+        from repro.serving.sweep import QpsSweepResult
+
+        sweep = QpsSweepResult(config=compat_serving_config(self.study.base))
+        for point in self.points:
+            if point.outcome.serving is None:
+                raise ValueError("as_qps_sweep needs serving outcomes")
+            sweep.results.append(point.outcome.serving)
+        return sweep
+
+
+def run_study(
+    study: StudySpec,
+    progress: Optional[Callable[[StudyPoint], None]] = None,
+) -> StudyResult:
+    """Execute every point of the study grid (fresh system per point).
+
+    Points run in :meth:`StudySpec.expand` order; each builds its spec
+    (base + axis overrides + per-point seed) and drives it through
+    :func:`~repro.api.runners.run_experiment`, so a one-point study is
+    exactly one experiment and a one-axis qps study is exactly the legacy
+    sweep.  ``progress`` (optional) is called after each completed point.
+    """
+    from repro.api.runners import run_experiment
+
+    result = StudyResult(study=study)
+    for coords, labels, seed in study.expand():
+        spec = study.spec_for(coords, seed)
+        outcome = run_experiment(spec)
+        point = StudyPoint(
+            coords=dict(coords), labels=dict(labels), seed=seed, spec=spec,
+            outcome=outcome,
+        )
+        result.points.append(point)
+        if progress is not None:
+            progress(point)
+    return result

@@ -255,6 +255,46 @@ def available_forecasters() -> List[str]:
     return FORECASTER_REGISTRY.available()
 
 
+def replay_score(
+    forecaster: ArrivalForecaster,
+    arrivals: List[float],
+    horizon_s: float = 5.0,
+    interval_s: float = 2.0,
+    start_s: float = 4.0,
+) -> float:
+    """Replay an arrival trace through a forecaster and return its MAE.
+
+    Walks simulated time from ``start_s`` to the last arrival in
+    ``interval_s`` steps, feeding the forecaster every arrival up to the
+    current instant and asking for a ``horizon_s``-ahead forecast at each
+    step; the result is the mean absolute rate error over every matured
+    forecast.  This is the scoring loop the forecaster-accuracy tests pin,
+    shared so studies (forecaster x traffic shape sweeps) score the same
+    way the tests do.  Deterministic traces come from
+    :func:`repro.serving.shapes.deterministic_trace`.
+    """
+    if not arrivals:
+        raise ValueError("replay_score needs a non-empty arrival trace")
+    if interval_s <= 0:
+        raise ValueError("replay_score interval_s must be > 0")
+    pending = iter(arrivals)
+    upcoming: Optional[float] = next(pending)
+    t, end = start_s, arrivals[-1]
+    while t < end:
+        while upcoming is not None and upcoming <= t:
+            forecaster.observe(upcoming)
+            upcoming = next(pending, None)
+        forecaster.forecast_rate(t, horizon_s)
+        t += interval_s
+    error = forecaster.mean_absolute_error(end)
+    if error is None:
+        raise ValueError(
+            "replay_score produced no matured forecasts (trace shorter than "
+            "start_s + horizon_s)"
+        )
+    return error
+
+
 def build_forecaster(
     name: str,
     *,

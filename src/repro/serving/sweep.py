@@ -1,4 +1,13 @@
-"""QPS sweeps and peak-throughput (knee) detection (paper Fig. 11)."""
+"""QPS sweeps and peak-throughput (knee) detection (paper Fig. 11).
+
+:class:`QpsSweepResult` is the legacy one-axis view of a study:
+:func:`repro.api.run_sweep` now executes a one-axis
+:class:`~repro.api.study.StudySpec` under the hood (bit-for-bit identical)
+and rebuilds this result type through
+:meth:`~repro.api.study.StudyResult.as_qps_sweep`; multi-axis studies
+(shapes, pool layouts, policies) return the richer
+:class:`~repro.api.study.StudyResult` instead.
+"""
 
 from __future__ import annotations
 

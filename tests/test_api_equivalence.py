@@ -119,6 +119,74 @@ class TestServingGolden:
         assert result.throughput_qps == 0.8750023061426455
 
 
+class TestTrafficProgramCompat:
+    """Shapes and studies must not perturb the legacy surfaces they wrap."""
+
+    def _spec(self, **overrides) -> ExperimentSpec:
+        base = dict(
+            agent="react",
+            workload="hotpotqa",
+            model="8b",
+            replicas=1,
+            scheduler="fcfs",
+            agent_config=AgentConfig(max_iterations=5),
+            arrival=ArrivalSpec(
+                process="poisson", qps=1.0, num_requests=10, task_pool_size=8
+            ),
+            seed=0,
+            max_decode_chunk=8,
+        )
+        base.update(overrides)
+        return ExperimentSpec(**base)
+
+    def test_legacy_spec_has_no_shape(self):
+        spec = self._spec()
+        assert spec.arrival.shape is None
+        assert spec.arrival.duration_s is None
+
+    def test_identity_shape_matches_golden_bit_for_bit(self):
+        from repro.api import run_experiment
+        from repro.serving.shapes import ConstantShape
+
+        shaped = self._spec(
+            arrival=ArrivalSpec(
+                process="poisson", qps=1.0, num_requests=10, task_pool_size=8,
+                shape=ConstantShape(),
+            )
+        )
+        outcome = run_experiment(shaped)
+        for metric, expected in TestServingGolden.GOLDEN.items():
+            assert getattr(outcome.serving, metric) == expected, metric
+
+    def test_run_sweep_is_byte_identical_to_one_axis_study(self):
+        from repro.api import StudyAxis, StudySpec, run_experiment, run_sweep, run_study
+
+        spec = self._spec()
+        qps_values = (0.5, 1.0)
+        sweep = run_sweep(spec, qps_values)
+        study = run_study(
+            StudySpec(base=spec, axes=(StudyAxis(name="qps", values=qps_values),))
+        )
+        manual = [run_experiment(spec.at_qps(qps)).serving for qps in qps_values]
+        for via_sweep, via_study, direct in zip(
+            sweep.results, (point.outcome.serving for point in study.points), manual
+        ):
+            assert via_sweep.latencies == direct.latencies
+            assert via_study.latencies == direct.latencies
+            assert via_sweep.energy_wh == direct.energy_wh
+            assert via_study.energy_wh == direct.energy_wh
+            assert via_sweep.duration == direct.duration
+
+    def test_sweep_golden_pin(self):
+        """run_sweep at the golden serving config reproduces the pinned point."""
+        from repro.api import run_sweep
+
+        sweep = run_sweep(self._spec(), [1.0])
+        result = sweep.results[0]
+        for metric, expected in TestServingGolden.GOLDEN.items():
+            assert getattr(result, metric) == expected, metric
+
+
 class TestResultSetInterface:
     def test_wraps_exactly_one_result(self):
         from repro.api import ResultSet

@@ -77,6 +77,46 @@ class TestArrivalSpecValidation:
         with pytest.raises(ValueError, match="warmup_requests"):
             MeasurementSpec(warmup_requests=-1)
 
+    def test_shape_requires_open_loop_process(self):
+        from repro.serving.shapes import RampShape
+
+        with pytest.raises(ValueError, match="rate shape"):
+            ArrivalSpec(process="single", shape=RampShape())
+        with pytest.raises(ValueError, match="rate shape"):
+            ArrivalSpec(process="sequential", shape="diurnal")
+
+    def test_shape_shorthands_coerce(self):
+        from repro.serving.shapes import DiurnalShape, RampShape
+
+        named = ArrivalSpec(process="poisson", qps=1.0, shape="diurnal")
+        assert isinstance(named.shape, DiurnalShape)
+        from_dict = ArrivalSpec(
+            process="poisson", qps=1.0, shape=RampShape().to_dict()
+        )
+        assert from_dict.shape == RampShape()
+        with pytest.raises(ValueError, match="unknown rate shape"):
+            ArrivalSpec(process="poisson", qps=1.0, shape="sawtooth")
+        with pytest.raises(ValueError, match="RateShape"):
+            ArrivalSpec(process="poisson", qps=1.0, shape=3.0)
+
+    def test_duration_requires_open_loop_and_positive(self):
+        assert ArrivalSpec(process="poisson", qps=1.0, duration_s=30.0).duration_s == 30.0
+        with pytest.raises(ValueError, match="duration_s"):
+            ArrivalSpec(process="single", duration_s=10.0)
+        with pytest.raises(ValueError, match="duration_s"):
+            ArrivalSpec(process="poisson", qps=1.0, duration_s=0.0)
+
+    def test_workload_shape_coerces_and_validates(self):
+        from repro.api import WeightedWorkload
+        from repro.serving.shapes import SquareWaveShape
+
+        mix = WeightedWorkload(
+            agent="chatbot", workload="sharegpt", name="chat", shape="square-wave"
+        )
+        assert isinstance(mix.shape, SquareWaveShape)
+        with pytest.raises(ValueError, match="shape"):
+            WeightedWorkload(agent="chatbot", workload="sharegpt", shape=1.0)
+
     def test_warmup_must_leave_a_measured_window(self):
         with pytest.raises(ValueError, match="warmup_requests must be smaller"):
             ExperimentSpec(
@@ -113,6 +153,39 @@ class TestSpecRoundTrip:
         spec = ExperimentSpec(arrival=ArrivalSpec(process="uniform", qps=2.0, num_requests=4))
         rebuilt = ExperimentSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
         assert rebuilt == spec
+
+    def test_shaped_spec_round_trip_survives_json(self):
+        import json
+
+        from repro.api import WeightedWorkload
+        from repro.serving.shapes import (
+            ConstantShape,
+            PiecewiseShape,
+            SquareWaveShape,
+        )
+
+        program = PiecewiseShape(
+            segments=(
+                (20.0, ConstantShape(level_value=0.5)),
+                (20.0, SquareWaveShape()),
+            )
+        )
+        spec = ExperimentSpec(
+            workloads=(
+                WeightedWorkload(agent="chatbot", workload="sharegpt", name="chat"),
+                WeightedWorkload(
+                    agent="react", workload="hotpotqa", name="agent",
+                    shape=SquareWaveShape(burst_level=3.0),
+                ),
+            ),
+            arrival=ArrivalSpec(
+                process="poisson", qps=2.0, num_requests=12, shape=program,
+                duration_s=60.0,
+            ),
+        )
+        rebuilt = ExperimentSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert rebuilt == spec
+        assert rebuilt.arrival.shape == program
 
     def test_from_dict_validates(self):
         payload = ExperimentSpec().to_dict()

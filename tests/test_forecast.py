@@ -1,18 +1,19 @@
 """Arrival-forecaster registry: construction, folding, and accuracy.
 
 Accuracy is scored on deterministic synthetic arrival traces (no RNG --
-arrival times are produced by integrating a known rate function), covering
-the three shapes predictive autoscaling must survive: a linear *ramp*, a
-square-wave *burst*, and a sinusoidal *diurnal* cycle.  The assertions pin
-the qualitative ordering, not absolute errors: every real forecaster beats
-the ``none`` baseline, and only the trend-aware ``holt`` forecaster keeps
-up with a ramp.
+arrival times come from :func:`repro.serving.shapes.deterministic_trace`,
+the shared rate-shape integrator the spec vocabulary uses), covering the
+three shapes predictive autoscaling must survive: a linear *ramp*, a
+square-wave *burst*, and a sinusoidal *diurnal* cycle, scored through the
+shared :func:`repro.serving.forecast.replay_score` loop.  The assertions
+pin the qualitative ordering, not absolute errors: every real forecaster
+beats the ``none`` baseline, and only the trend-aware ``holt`` forecaster
+keeps up with a ramp.
 """
 
 from __future__ import annotations
 
-import math
-from typing import Callable, Dict, List
+from typing import Dict, List
 
 import pytest
 
@@ -25,55 +26,49 @@ from repro.serving.forecast import (
     available_forecasters,
     build_forecaster,
     register_forecaster,
+    replay_score,
+)
+from repro.serving.shapes import (
+    DiurnalShape,
+    RampShape,
+    SquareWaveShape,
+    deterministic_trace,
 )
 
 
 # ---------------------------------------------------------------------------
-# Synthetic traces: arrival times from integrating a known rate function
+# Synthetic traces: the shared shape library integrating a known rate
 # ---------------------------------------------------------------------------
-
-
-def trace_from_rate(rate: Callable[[float], float], t_end: float) -> List[float]:
-    """Deterministic arrival times with instantaneous rate ``rate(t)``."""
-    arrivals: List[float] = []
-    t = 0.0
-    while t < t_end:
-        t += 1.0 / rate(t)
-        arrivals.append(t)
-    return arrivals
 
 
 def ramp_trace() -> List[float]:
     """Rate climbs linearly 1 -> 11 req/s over 60 s."""
-    return trace_from_rate(lambda t: 1.0 + t / 6.0, 60.0)
+    return deterministic_trace(
+        RampShape(start_level=1.0, end_level=11.0, ramp_s=60.0), duration_s=60.0
+    )
 
 
 def burst_trace() -> List[float]:
     """Square wave: 1 req/s baseline, 10 req/s burst over t in [20, 40)."""
-    return trace_from_rate(lambda t: 10.0 if 20.0 <= t < 40.0 else 1.0, 60.0)
+    return deterministic_trace(
+        SquareWaveShape(
+            base_level=1.0, burst_level=10.0, period_s=60.0, burst_start_s=20.0,
+            burst_s=20.0,
+        ),
+        duration_s=60.0,
+    )
 
 
 def diurnal_trace() -> List[float]:
     """Sinusoidal rate 3 +- 2 req/s with a 60 s period, two cycles."""
-    return trace_from_rate(
-        lambda t: 3.0 + 2.0 * math.sin(2 * math.pi * t / 60.0), 120.0
+    return deterministic_trace(
+        DiurnalShape(mean_level=3.0, amplitude=2.0, period_s=60.0), duration_s=120.0
     )
 
 
 def score(forecaster: ArrivalForecaster, trace: List[float], horizon_s: float = 5.0) -> float:
-    """Drive the forecaster along the trace, forecasting every 2 s; return MAE."""
-    pending = iter(trace)
-    upcoming = next(pending)
-    t, end = 4.0, trace[-1]
-    while t < end:
-        while upcoming is not None and upcoming <= t:
-            forecaster.observe(upcoming)
-            upcoming = next(pending, None)
-        forecaster.forecast_rate(t, horizon_s)
-        t += 2.0
-    error = forecaster.mean_absolute_error(end)
-    assert error is not None
-    return error
+    """Drive the forecaster along the trace via the shared scoring loop."""
+    return replay_score(forecaster, trace, horizon_s=horizon_s)
 
 
 TRACES: Dict[str, List[float]] = {
