@@ -9,6 +9,10 @@ from repro.analysis.burst_profiles import (
     burst_profile_study,
     offline_accuracy,
 )
+from repro.analysis.fairness import (
+    FairnessStudyResult,
+    fairness_study,
+)
 from repro.analysis.fleet_sizing import (
     FleetSizingResult,
     fleet_sizing_study,
@@ -44,11 +48,13 @@ __all__ = [
     "AdmissionStudyResult",
     "BurstProfileResult",
     "CharacterizationMatrix",
+    "FairnessStudyResult",
     "FleetSizingResult",
     "MixedFleetResult",
     "PredictiveScalingResult",
     "admission_study",
     "burst_profile_study",
+    "fairness_study",
     "fleet_sizing_study",
     "offline_accuracy",
     "predictive_scaling_study",

@@ -39,6 +39,14 @@ admission) into a :class:`StudyResult` with tabulation, slicing, and
 ``pareto_frontier`` queries (see ``examples/fleet_sizing.py`` and
 ``examples/burst_profiles.py``).
 
+Multi-tenancy: ``ArrivalSpec(tenants=TenantSpec(...))`` labels arrivals
+with users drawn lazily from a Zipf-skewed population
+(:mod:`repro.serving.tenants`), the ``vtc`` scheduler and the
+``oit-throttle`` admission policy act on those labels, and tenanted
+results report fairness metrics (``served_token_ratio``,
+``jain_fairness``, ``tenant_throttle_decile:<d>``) usable as study/Pareto
+axes (see ``examples/fairness.py``).
+
 The legacy entry points (``SingleRequestRunner``, ``AgentServer``,
 ``run_at_qps``, ``sweep_qps``) remain as thin compatibility shims over this
 layer and reproduce their historical results bit-for-bit (``run_sweep`` is
@@ -73,6 +81,7 @@ from repro.api.study import (
     resolve_metric,
     run_study,
 )
+from repro.serving.tenants import TenantSpec
 
 __all__ = [
     "ARRIVAL_PROCESSES",
@@ -91,6 +100,7 @@ __all__ = [
     "StudySpec",
     "System",
     "SystemBuilder",
+    "TenantSpec",
     "WeightedWorkload",
     "apply_axis_value",
     "compat_serving_config",

@@ -43,6 +43,8 @@ class TrafficClassRuntime:
 
     ``shape`` is the class's own rate modulation (``None`` = steady): the
     load generator superposes each shaped class as its own arrival process.
+    ``tenants`` is the class's own user population (``None`` = inherit the
+    arrival-level tenant spec, or untenanted).
     """
 
     label: str
@@ -52,6 +54,7 @@ class TrafficClassRuntime:
     agent_config: object  # AgentConfig
     needs_tools: bool = True
     shape: object = None  # Optional[RateShape]
+    tenants: object = None  # Optional[TenantSpec]
 
 
 @dataclass
@@ -139,6 +142,9 @@ class SystemBuilder:
         max_decode_chunk = spec.max_decode_chunk
         if pool is not None and pool.max_decode_chunk is not None:
             max_decode_chunk = pool.max_decode_chunk
+        scheduler_kwargs = {}
+        if spec.max_num_seqs is not None:
+            scheduler_kwargs["max_num_seqs"] = spec.max_num_seqs
         return EngineConfig(
             model=get_model(model),
             enable_prefix_caching=prefix_caching,
@@ -146,6 +152,7 @@ class SystemBuilder:
                 policy=scheduler_policy,
                 predictor_error=spec.predictor_error,
                 predictor_seed=spec.seed,
+                **scheduler_kwargs,
             ),
             max_decode_chunk=max_decode_chunk,
         )
@@ -196,6 +203,7 @@ class SystemBuilder:
                 agent_config=mix.agent_config or spec.agent_config,
                 needs_tools=mix.needs_tools,
                 shape=mix.shape,
+                tenants=mix.tenants,
             )
         return traffic
 
@@ -244,6 +252,10 @@ class SystemBuilder:
             load_probe=probe,
             cooperative=sub.cooperative,
             horizon_s=horizon_s,
+            user_rpm=sub.user_rpm,
+            app_rpm=sub.app_rpm,
+            kv_threshold=sub.kv_threshold,
+            queue_threshold=sub.queue_threshold,
         )
 
     def build_admission(self, cluster: Cluster) -> AdmissionController:

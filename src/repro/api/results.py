@@ -190,17 +190,50 @@ class ResultSet:
             return []
         return self.serving.per_class_admission()
 
+    # -- per-tenant fairness ------------------------------------------------------
+    @property
+    def tenant_stats(self) -> Optional[Any]:
+        """Per-tenant fairness accounting (``None`` for untenanted runs)."""
+        if self.serving is None:
+            return None
+        return self.serving.tenant_stats
+
+    @property
+    def served_token_ratio(self) -> Optional[float]:
+        """Served-token max/min ratio across contending tenants (1.0 = fair)."""
+        if self.serving is None:
+            return None
+        return self.serving.served_token_ratio
+
+    @property
+    def jain_fairness(self) -> Optional[float]:
+        """Jain's fairness index over per-tenant served tokens."""
+        if self.serving is None:
+            return None
+        return self.serving.jain_fairness
+
+    @property
+    def tenant_throttle_rate(self) -> Optional[float]:
+        """Door rejection fraction of tenanted offers."""
+        if self.serving is None:
+            return None
+        return self.serving.tenant_throttle_rate
+
     # -- metric vocabulary ------------------------------------------------------
     def metric(self, name: str) -> float:
         """Resolve a study-metric name on this result.
 
         Accepts any :class:`ResultSet` attribute name (``replica_seconds``,
-        ``p95_latency``, ``energy_wh``, ``rejection_rate``, ...) or the
-        per-class form ``class_<stat>:<label>`` (``class_p95:chat``,
-        ``class_attainment:chat``, ``class_rejection:agent``) -- the same
-        vocabulary :meth:`repro.api.study.StudyResult.pareto_frontier` and
-        tabulation use, so a metric proven interactively drops straight
-        into a study query.
+        ``p95_latency``, ``energy_wh``, ``rejection_rate``,
+        ``served_token_ratio``, ``jain_fairness``, ...), the per-class form
+        ``class_<stat>:<label>`` (``class_p95:chat``,
+        ``class_attainment:chat``, ``class_rejection:agent``), or the
+        per-decile form ``tenant_throttle_decile:<0-9>`` (throttle rate of
+        one tenant population decile; decile 0 is the hottest 10% of users)
+        -- the same vocabulary
+        :meth:`repro.api.study.StudyResult.pareto_frontier` and tabulation
+        use, so a metric proven interactively drops straight into a study
+        query.
         """
         # Local import: study imports this module at load time.
         from repro.api.study import resolve_metric
@@ -231,4 +264,8 @@ class ResultSet:
                 summary["forecast_mae"] = self.forecast_mae
             if self.scale_ahead_lead_s is not None:
                 summary["scale_ahead_lead_s"] = self.scale_ahead_lead_s
+            if self.tenant_stats is not None:
+                summary["served_token_ratio"] = self.served_token_ratio
+                summary["jain_fairness"] = self.jain_fairness
+                summary["tenant_throttle_rate"] = self.tenant_throttle_rate
         return summary

@@ -47,6 +47,7 @@ from repro.serving.loadgen import (
 from repro.serving.shapes import ConstantShape
 from repro.serving.server import ServingConfig, ServingResult
 from repro.serving.sweep import QpsSweepResult
+from repro.serving.tenants import Tenant, tenant_fairness
 from repro.workloads.base import Task
 
 
@@ -156,11 +157,21 @@ class ServingDriver:
         # while per-class policies cannot head-of-line block each other).
         self._door_queues: Dict[
             int,
-            Tuple[object, Deque[Tuple[float, Task, Optional[str], List[AgentRunResult]]]],
+            Tuple[
+                object,
+                Deque[
+                    Tuple[
+                        float, Task, Optional[str], Optional[Tenant], List[AgentRunResult]
+                    ]
+                ],
+            ],
         ] = {}
         # Policies with a pending retry timer (keyed by id(policy)).
         self._retry_pending: set = set()
         self._admission_delays: List[float] = []
+        # (completion time, tenant, served tokens) per tenanted completion,
+        # for the contended-window fairness report.
+        self._tenant_completions: List[Tuple[float, Tenant, float]] = []
         # (time, energy snapshot) at the moment the warm-up window closed.
         self._warmup_boundary: Optional[Tuple[float, object]] = None
         # Which traffic classes feed the autoscaler's arrival forecaster:
@@ -212,17 +223,31 @@ class ServingDriver:
         self,
         task: Task,
         label: Optional[str],
+        tenant: Optional[Tenant],
         collected: List[AgentRunResult],
     ):
         self._active_workers += 1
         agent = self._make_agent(label)
+        if tenant is not None:
+            # Stamped onto every LLM request the agent issues, so fairness
+            # schedulers (vtc) can account served tokens per tenant.
+            agent.request_metadata["tenant"] = tenant.user
         result = yield agent.run_process(task)
         if label is not None:
             result.metadata["traffic_class"] = label
+        if tenant is not None:
+            result.metadata["tenant"] = tenant
+            self._tenant_completions.append(
+                (
+                    self.env.now,
+                    tenant,
+                    float(result.total_prompt_tokens + result.total_output_tokens),
+                )
+            )
         collected.append(result)
         self._note_completion(collected)
         self._active_workers -= 1
-        self._on_worker_done(label, result)
+        self._on_worker_done(label, tenant, result)
 
     def _note_completion(self, collected: List[AgentRunResult]) -> None:
         """Mark the instant the warm-up window closes (for window-true metrics)."""
@@ -231,32 +256,44 @@ class ServingDriver:
             self._warmup_boundary = (self.env.now, self.system.cluster.energy_snapshot())
 
     def _spawn(
-        self, task: Task, label: Optional[str], collected: List[AgentRunResult]
+        self,
+        task: Task,
+        label: Optional[str],
+        tenant: Optional[Tenant],
+        collected: List[AgentRunResult],
     ) -> None:
-        self.env.process(self._worker(task, label, collected))
+        self.env.process(self._worker(task, label, tenant, collected))
 
     # -- door gate (admission control) ----------------------------------------
     def _door_queue_for(
         self, policy
-    ) -> Deque[Tuple[float, Task, Optional[str], List[AgentRunResult]]]:
+    ) -> Deque[
+        Tuple[float, Task, Optional[str], Optional[Tenant], List[AgentRunResult]]
+    ]:
         entry = self._door_queues.get(id(policy))
         if entry is None:
             entry = self._door_queues[id(policy)] = (policy, deque())
         return entry[1]
 
     def _admit(
-        self, task: Task, label: Optional[str], collected: List[AgentRunResult]
+        self,
+        task: Task,
+        label: Optional[str],
+        tenant: Optional[Tenant],
+        collected: List[AgentRunResult],
     ) -> None:
         from repro.serving.admission import ADMIT, DELAY
 
         self._note_arrival(label)
-        decision = self.admission.offer(self.env.now, label)
+        decision = self.admission.offer(self.env.now, label, tenant)
         if decision == ADMIT:
             self._admission_delays.append(0.0)
-            self._spawn(task, label, collected)
+            self._spawn(task, label, tenant, collected)
         elif decision == DELAY:
             policy = self.admission.policy_for(label)
-            self._door_queue_for(policy).append((self.env.now, task, label, collected))
+            self._door_queue_for(policy).append(
+                (self.env.now, task, label, tenant, collected)
+            )
             self._schedule_retry(policy)
         # REJECT: the request is shed; the controller recorded it.
 
@@ -275,9 +312,11 @@ class ServingDriver:
                 return
         autoscaler.forecaster.observe(self.env.now)
 
-    def _on_worker_done(self, label: Optional[str], result: AgentRunResult) -> None:
+    def _on_worker_done(
+        self, label: Optional[str], tenant: Optional[Tenant], result: AgentRunResult
+    ) -> None:
         self.admission.on_complete(
-            self.env.now, label, result.e2e_latency, result.total_output_tokens
+            self.env.now, label, result.e2e_latency, result.total_output_tokens, tenant
         )
         self._drain_door_queues()
 
@@ -289,12 +328,12 @@ class ServingDriver:
         from repro.serving.admission import ADMIT, REJECT
 
         while queue:
-            enqueued_at, task, label, sink = queue[0]
-            decision = self.admission.readmit(self.env.now, label)
+            enqueued_at, task, label, tenant, sink = queue[0]
+            decision = self.admission.readmit(self.env.now, label, tenant)
             if decision == ADMIT:
                 queue.popleft()
                 self._admission_delays.append(self.env.now - enqueued_at)
-                self._spawn(task, label, sink)
+                self._spawn(task, label, tenant, sink)
             elif decision == REJECT:
                 # Shed after waiting at the door (late slo-shed engagement).
                 queue.popleft()
@@ -321,12 +360,14 @@ class ServingDriver:
 
     def _request_generator(self, plan: ArrivalPlan, collected: List[AgentRunResult]):
         previous = 0.0
-        for arrival, task, label in zip(plan.arrival_times, plan.tasks, plan.labels()):
+        for arrival, task, label, tenant in zip(
+            plan.arrival_times, plan.tasks, plan.labels(), plan.tenant_labels()
+        ):
             gap = arrival - previous
             if gap > 0:
                 yield self.env.timeout(gap)
             previous = arrival
-            self._admit(task, label, collected)
+            self._admit(task, label, tenant, collected)
 
     # -- open-loop serving ----------------------------------------------------
     def serve(self, plan: ArrivalPlan) -> ServingResult:
@@ -344,6 +385,7 @@ class ServingDriver:
         self._warmup_boundary = None
         self._door_queues.clear()
         self._retry_pending.clear()
+        self._tenant_completions = []
         self.admission.reset_counts()
         energy_before = system.cluster.energy_snapshot()
         start_time = env.now
@@ -370,6 +412,7 @@ class ServingDriver:
             energy_before=energy_before,
             start_time=start_time,
             end_time=end_time,
+            contended_until=start_time + plan.duration,
         )
 
     def _only_background_events_remain(self) -> bool:
@@ -393,6 +436,7 @@ class ServingDriver:
         collected: List[AgentRunResult] = []
         self._admission_delays = []
         self._warmup_boundary = None
+        self._tenant_completions = []
         # Closed-loop serving bypasses the door (one request at a time can
         # never overload it); clear stale accounting from a previous run.
         self.admission.reset_counts()
@@ -421,6 +465,7 @@ class ServingDriver:
         energy_before,
         start_time: float,
         end_time: float,
+        contended_until: Optional[float] = None,
     ) -> ServingResult:
         system = self.system
         # Warm-up trimming: the measured window opens when the warmup-th
@@ -483,7 +528,41 @@ class ServingDriver:
             slo_p95_s=self.spec.measurement.slo_p95_s,
             forecast_mae=forecast_mae,
             scale_ahead_leads=scale_ahead_leads,
+            tenant_stats=self._tenant_stats(contended_until),
         )
+
+    def _tenant_stats(self, contended_until: Optional[float]):
+        """Per-tenant fairness over the contended window (None = untenanted).
+
+        The driver drains every admitted request, so end-of-run totals are
+        scheduler-independent; what a fairness scheduler changes is who gets
+        served *while tenants are still competing*.  Served tokens therefore
+        count completions up to the contended horizon: the later of the last
+        arrival time and the half-work horizon (the completion at which half
+        of all served tokens had finished).  The half-work extension keeps
+        the window non-degenerate on short runs, where every completion can
+        land after the final arrival; under a backlog the drain stays
+        contended well past the last arrival, and which tenants own the
+        first half of the served work is exactly the ordering signal a
+        fairness scheduler controls.
+        """
+        events = sorted(self._tenant_completions, key=lambda event: event[0])
+        if contended_until is not None and events:
+            total_tokens = sum(tokens for _, _, tokens in events)
+            accumulated = 0.0
+            half_horizon = events[-1][0]
+            for finished_at, _, tokens in events:
+                accumulated += tokens
+                if accumulated >= 0.5 * total_tokens:
+                    half_horizon = finished_at
+                    break
+            contended_until = max(contended_until, half_horizon)
+        served: Dict[Tenant, float] = {}
+        for finished_at, tenant, tokens in events:
+            if contended_until is not None and finished_at > contended_until:
+                continue
+            served[tenant] = served.get(tenant, 0.0) + tokens
+        return tenant_fairness(served, self.admission.tenant_counts())
 
     def _pool_stats(
         self,
@@ -573,7 +652,13 @@ def _build_plan(system: System) -> ArrivalPlan:
         # request tagged with the class it was sampled from.
         return mixture_plan(
             [
-                (runtime.label, runtime.workload, runtime.weight, runtime.shape)
+                (
+                    runtime.label,
+                    runtime.workload,
+                    runtime.weight,
+                    runtime.shape,
+                    runtime.tenants,
+                )
                 for runtime in system.traffic.values()
             ],
             qps=arrival.qps,
@@ -583,6 +668,7 @@ def _build_plan(system: System) -> ArrivalPlan:
             process=arrival.process,
             shape=arrival.shape,
             duration_s=arrival.duration_s,
+            tenants=arrival.tenants,
         )
     if arrival.shape is not None or arrival.duration_s is not None:
         # Shaped traffic program on a single workload (identity-shape plans
@@ -596,6 +682,7 @@ def _build_plan(system: System) -> ArrivalPlan:
             task_pool_size=arrival.task_pool_size,
             process=arrival.process,
             duration_s=arrival.duration_s,
+            tenants=arrival.tenants,
         )
     if arrival.process == "poisson":
         return poisson_plan(
@@ -604,13 +691,19 @@ def _build_plan(system: System) -> ArrivalPlan:
             num_requests=arrival.num_requests,
             stream=system.stream.substream(f"plan/{arrival.qps}"),
             task_pool_size=arrival.task_pool_size,
+            tenants=arrival.tenants,
         )
     if arrival.process == "uniform":
+        # The stream feeds only tenant sampling here (deterministic arrivals
+        # and round-robin task picks draw nothing), so untenanted uniform
+        # plans stay bit-for-bit identical.
         return uniform_plan(
             system.workload,
             qps=arrival.qps,
             num_requests=arrival.num_requests,
             task_pool_size=arrival.task_pool_size,
+            stream=system.stream.substream(f"plan/{arrival.qps}"),
+            tenants=arrival.tenants,
         )
     raise ValueError(f"no open-loop plan for arrival process {arrival.process!r}")
 

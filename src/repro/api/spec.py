@@ -38,6 +38,7 @@ from repro.serving.admission import (
 from repro.serving.forecast import FORECASTERS, available_forecasters
 from repro.serving.cluster import ROUTER_POLICIES, available_router_policies
 from repro.serving.shapes import RateShape, build_shape, shape_from_dict
+from repro.serving.tenants import TenantSpec
 from repro.workloads import available_workloads
 
 #: Arrival processes understood by the experiment runners.
@@ -71,6 +72,12 @@ class ArrivalSpec:
     ``duration_s`` switches the plan from count semantics (exactly
     ``num_requests`` arrivals) to span semantics: every arrival inside
     ``[0, duration_s]``, with ``num_requests`` as a safety cap.
+
+    ``tenants`` optionally attaches a
+    :class:`~repro.serving.tenants.TenantSpec`: every arrival is labelled
+    with a tenant drawn from a Zipf-skewed user population (a dict form is
+    accepted for deserialization).  ``tenants=None`` reproduces the
+    untenanted plans bit-for-bit.
     """
 
     process: str = "single"
@@ -79,6 +86,7 @@ class ArrivalSpec:
     task_pool_size: int = 48
     shape: Optional[RateShape] = None
     duration_s: Optional[float] = None
+    tenants: Optional[TenantSpec] = None
 
     def __post_init__(self) -> None:
         if self.process not in ARRIVAL_PROCESSES:
@@ -118,6 +126,19 @@ class ArrivalSpec:
                 )
             if self.duration_s <= 0:
                 raise ValueError("arrival duration_s must be > 0 (or None)")
+        if isinstance(self.tenants, dict):
+            object.__setattr__(self, "tenants", TenantSpec.from_dict(self.tenants))
+        if self.tenants is not None:
+            if self.process not in ("poisson", "uniform"):
+                raise ValueError(
+                    f"{self.process} arrivals do not take a tenant population "
+                    "(tenants label open-loop arrivals)"
+                )
+            if not isinstance(self.tenants, TenantSpec):
+                raise ValueError(
+                    f"arrival tenants must be a TenantSpec (or a dict form), "
+                    f"got {self.tenants!r}"
+                )
 
     @classmethod
     def from_dict(cls, payload: Dict[str, Any]) -> "ArrivalSpec":
@@ -125,6 +146,8 @@ class ArrivalSpec:
         data = dict(payload)
         if isinstance(data.get("shape"), dict):
             data["shape"] = shape_from_dict(data["shape"])
+        if isinstance(data.get("tenants"), dict):
+            data["tenants"] = TenantSpec.from_dict(data["tenants"])
         return cls(**data)
 
 
@@ -209,6 +232,14 @@ class AdmissionSpec:
       work is shed only when warm replicas cannot land in time (and
       un-shed as they arrive).  Requires an :class:`AutoscalerSpec` on the
       experiment.
+    * ``oit-throttle`` -- interaction-aware per-tenant throttling: rolling
+      per-user (``user_rpm``) and per-app (``app_rpm``) request-per-minute
+      windows over ``window_s`` that bite only while the cluster is under
+      pressure (KV utilisation >= ``kv_threshold`` or pending work per
+      active replica >= ``queue_threshold``), and never sever an
+      in-progress interaction (tenants with in-flight requests are always
+      admitted).  Requires tenanted arrivals; ``overload_action`` picks
+      reject (default) or delay.
 
     ``per_class`` overrides the policy per traffic class:
     ``(("agent", AdmissionSpec(policy="slo-shed", protect_class="chat")),)``
@@ -227,6 +258,10 @@ class AdmissionSpec:
     enter_factor: float = 1.0
     exit_factor: float = 0.8
     cooperative: bool = False
+    user_rpm: Optional[float] = None
+    app_rpm: Optional[float] = None
+    kv_threshold: float = 0.85
+    queue_threshold: float = 4.0
     per_class: Tuple[Tuple[str, "AdmissionSpec"], ...] = ()
 
     def __post_init__(self) -> None:
@@ -257,6 +292,20 @@ class AdmissionSpec:
             raise ValueError("admission slo_p95_s must be > 0 (or None)")
         if self.window_s <= 0:
             raise ValueError("admission window_s must be > 0")
+        if self.user_rpm is not None and self.user_rpm <= 0:
+            raise ValueError("admission user_rpm must be > 0 (or None)")
+        if self.app_rpm is not None and self.app_rpm <= 0:
+            raise ValueError("admission app_rpm must be > 0 (or None)")
+        if (self.user_rpm is not None or self.app_rpm is not None) and (
+            self.policy.lower() != "oit-throttle"
+        ):
+            raise ValueError(
+                f"admission policy {self.policy!r} does not take user_rpm/app_rpm"
+            )
+        if not 0 < self.kv_threshold <= 1:
+            raise ValueError("admission kv_threshold must be in (0, 1]")
+        if self.queue_threshold <= 0:
+            raise ValueError("admission queue_threshold must be > 0")
         if not 0 < self.exit_factor <= self.enter_factor:
             raise ValueError("admission needs 0 < exit_factor <= enter_factor")
         if not isinstance(self.per_class, tuple) or any(
@@ -355,6 +404,11 @@ class WeightedWorkload:
     ``qps * normalized_weight * arrival_shape.level(t) * shape.level(t)``,
     so one class can burst while the others stay steady -- the Table IV
     scenario of agent spikes over a constant chat floor.
+
+    ``tenants`` optionally gives this class its own
+    :class:`~repro.serving.tenants.TenantSpec` user population (overriding
+    the :attr:`ArrivalSpec.tenants` default for this class); dict forms are
+    accepted like shapes.
     """
 
     agent: str = "react"
@@ -363,6 +417,7 @@ class WeightedWorkload:
     name: str = ""
     agent_config: Optional[AgentConfig] = None
     shape: Optional[RateShape] = None
+    tenants: Optional[TenantSpec] = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -387,6 +442,13 @@ class WeightedWorkload:
         if self.shape is not None and self.shape.max_level <= 0:
             raise ValueError(
                 f"traffic class {self.name!r}: shape never reaches a positive rate"
+            )
+        if isinstance(self.tenants, dict):
+            object.__setattr__(self, "tenants", TenantSpec.from_dict(self.tenants))
+        if self.tenants is not None and not isinstance(self.tenants, TenantSpec):
+            raise ValueError(
+                f"traffic class {self.name!r}: tenants must be a TenantSpec "
+                f"(or a dict form), got {self.tenants!r}"
             )
 
     @property
@@ -507,6 +569,11 @@ class ExperimentSpec:
     # Relative error of the decode-length predictor used by SJF scheduling
     # and decode-length pool classification (0.0 = perfect oracle).
     predictor_error: float = 0.0
+    # Engine batch-size cap (vLLM's max_num_seqs; None = engine default).
+    # Lowering it forces requests to contend at the scheduler's admission
+    # door, which is where admission-order policies (priority, sjf, vtc)
+    # actually differ from fcfs.
+    max_num_seqs: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.agent.lower() not in AGENT_CLASSES:
@@ -543,6 +610,8 @@ class ExperimentSpec:
             )
         if self.predictor_error < 0:
             raise ValueError("predictor_error must be >= 0")
+        if self.max_num_seqs is not None and self.max_num_seqs < 1:
+            raise ValueError("max_num_seqs must be >= 1 (or None for the default)")
         self._validate_fleet()
         self._validate_admission()
 

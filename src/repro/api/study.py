@@ -20,9 +20,12 @@ shorthand for :meth:`ExperimentSpec.at_qps`, and
 Metrics (for tabulation and Pareto queries) are either callables on the
 point's :class:`~repro.api.results.ResultSet` or metric-name strings:
 any ``ResultSet`` attribute (``replica_seconds``, ``p95_latency``,
-``energy_wh``, ``rejection_rate``, ...) or a per-class form
-``class_<stat>:<label>`` (``class_p95:chat``, ``class_attainment:chat``,
-``class_rejection:agent``, ``class_mean:...``, ``class_throughput:...``).
+``energy_wh``, ``rejection_rate``, ``served_token_ratio``,
+``jain_fairness``, ...), a per-class form ``class_<stat>:<label>``
+(``class_p95:chat``, ``class_attainment:chat``, ``class_rejection:agent``,
+``class_mean:...``, ``class_throughput:...``), or the per-decile form
+``tenant_throttle_decile:<0-9>`` (throttle rate of one tenant population
+decile; decile 0 holds the hottest users).
 """
 
 from __future__ import annotations
@@ -43,6 +46,7 @@ from repro.api.spec import (
     WeightedWorkload,
 )
 from repro.serving.shapes import RateShape, shape_from_dict
+from repro.serving.tenants import TenantSpec
 
 #: A metric: a ResultSet attribute name / class_<stat>:<label> string, or a
 #: callable extracting a float from the point's ResultSet.
@@ -72,6 +76,29 @@ def resolve_metric(
     if callable(metric):
         value = metric(outcome)
     elif isinstance(metric, str):
+        if metric.startswith("tenant_throttle_decile:"):
+            _, _, decile_text = metric.partition(":")
+            try:
+                decile = int(decile_text)
+            except ValueError:
+                decile = -1
+            if not 0 <= decile <= 9:
+                raise ValueError(
+                    f"metric {metric!r}: decile must be an integer in 0..9"
+                )
+            stats = outcome.tenant_stats
+            if stats is None:
+                if missing_ok:
+                    return None
+                raise ValueError(f"metric {metric!r}: outcome has no tenant stats")
+            value = stats.decile_throttle_rates()[decile]
+            if value is None:
+                if missing_ok:
+                    return None
+                raise ValueError(
+                    f"metric {metric!r}: no offers landed in decile {decile}"
+                )
+            return float(value)
         if ":" in metric:
             name, label = metric.split(":", 1)
             attr = _CLASS_METRIC_ATTRS.get(name)
@@ -340,6 +367,7 @@ _SPEC_VALUE_TYPES: Dict[str, type] = {
     "AutoscalerSpec": AutoscalerSpec,
     "ArrivalSpec": ArrivalSpec,
     "MeasurementSpec": MeasurementSpec,
+    "TenantSpec": TenantSpec,
 }
 
 

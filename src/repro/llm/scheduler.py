@@ -5,7 +5,7 @@ The scheduler decides, before each engine step, whether the step is a
 running requests -- the contention the paper highlights) or a *decode* step
 (one token for every running sequence).  Admission order is delegated to a
 :class:`SchedulingPolicy` selected by name through a registry
-(``fcfs`` | ``priority`` | ``sjf-by-predicted-decode``), and is bounded by a
+(``fcfs`` | ``priority`` | ``sjf-by-predicted-decode`` | ``vtc``), and is bounded by a
 per-step token budget, a maximum batch size, and KV-cache capacity.  When the
 cache is exhausted mid-decode the most recently admitted request is preempted
 with recompute semantics.
@@ -52,17 +52,41 @@ class SchedulerConfig:
 class SchedulingPolicy:
     """Decides which waiting request is admitted next.
 
-    Policies are stateless selectors over the waiting queue: the scheduler
-    calls :meth:`select_index` repeatedly during one prefill pass, removing
-    the chosen request each time, so policies never mutate the queue
-    themselves.
+    Policies are selectors over the waiting queue: the scheduler calls
+    :meth:`select_index` repeatedly during one prefill pass, removing the
+    chosen request each time, so policies never mutate the queue themselves.
+
+    Stateful policies (``vtc``) additionally receive feedback through the
+    optional :meth:`on_scheduled` / :meth:`on_complete` hooks, which the
+    scheduler fires when a request is admitted to prefill and when it
+    finishes; the base implementations are no-ops, so existing selector-only
+    policies are unaffected.
     """
 
     name = "base"
 
     def select_index(self, waiting: Deque[LLMRequest], now: float) -> int:
-        """Index (into ``waiting``) of the request to admit next."""
+        """Index (into ``waiting``) of the request to admit next.
+
+        **Determinism contract**: comparison-based policies scan the queue
+        from index 0 and replace the incumbent only on a *strict* win, so
+        ties break toward the earliest-queued request (FCFS-stable).  A
+        policy whose scores are all equal must therefore behave exactly
+        like :class:`FCFSPolicy`.  Regression-pinned in
+        ``tests/test_scheduler_policies.py``.
+        """
         raise NotImplementedError
+
+    def on_scheduled(self, request: LLMRequest, now: float) -> None:
+        """``request`` was admitted to a prefill step (no-op by default).
+
+        Fired on every admission, including re-admission after preemption --
+        a recompute-style preemption re-pays the prefill, and accounting
+        policies are expected to charge for it again.
+        """
+
+    def on_complete(self, request: LLMRequest, now: float) -> None:
+        """``request`` finished decoding (no-op by default)."""
 
 
 class FCFSPolicy(SchedulingPolicy):
@@ -124,6 +148,82 @@ class ShortestJobPolicy(SchedulingPolicy):
         return best_index
 
 
+class VirtualTokenCounterPolicy(SchedulingPolicy):
+    """Virtual Token Counter (VTC) fair scheduling across tenants.
+
+    Each tenant carries a virtual counter of the service (weighted tokens)
+    it has received; the waiting request whose tenant has the *lowest*
+    counter is admitted next, so tenants that have been served least go
+    first and a whale cannot starve the tail.  Counters advance through the
+    scheduler's feedback hooks: :meth:`on_scheduled` charges
+    ``input_weight * prompt tokens`` when a request enters prefill
+    (re-admission after preemption charges again -- recompute preemption
+    re-pays the prefill), and :meth:`on_complete` charges
+    ``output_weight * output tokens`` when it finishes.  Output tokens
+    weigh more than input tokens by default, mirroring their higher
+    serving cost.
+
+    The tenant key is ``metadata["tenant"]`` (stamped by the serving driver
+    for tenanted arrivals), falling back to ``metadata["traffic_class"]``
+    so untenanted mixtures still get per-class fairness, then to a single
+    shared key -- under which VTC degenerates to FCFS exactly (strict-``<``
+    scan from index 0, per the determinism contract).
+
+    A tenant first seen mid-run joins at the *minimum* live counter rather
+    than zero: newcomers get immediate service without being handed a deep
+    credit that would starve everyone else while they catch up.
+    """
+
+    name = "vtc"
+
+    def __init__(self, input_weight: float = 1.0, output_weight: float = 2.0):
+        if input_weight < 0 or output_weight < 0:
+            raise ValueError("vtc token weights must be >= 0")
+        self.input_weight = input_weight
+        self.output_weight = output_weight
+        self.counters: Dict[str, float] = {}
+
+    @staticmethod
+    def _tenant_key(request: LLMRequest) -> str:
+        tenant = request.metadata.get("tenant")
+        if tenant is not None:
+            return str(tenant)
+        traffic_class = request.metadata.get("traffic_class")
+        if traffic_class is not None:
+            return str(traffic_class)
+        return ""
+
+    def _counter_for(self, key: str) -> float:
+        counter = self.counters.get(key)
+        if counter is None:
+            # Lazy join at the current minimum: fresh tenants go first among
+            # peers but carry no unbounded credit from their idle past.
+            counter = min(self.counters.values(), default=0.0)
+            self.counters[key] = counter
+        return counter
+
+    def select_index(self, waiting: Deque[LLMRequest], now: float) -> int:
+        best_index = 0
+        best_counter = None
+        for index, request in enumerate(waiting):
+            counter = self._counter_for(self._tenant_key(request))
+            if best_counter is None or counter < best_counter:
+                best_index, best_counter = index, counter
+        return best_index
+
+    def on_scheduled(self, request: LLMRequest, now: float) -> None:
+        key = self._tenant_key(request)
+        self.counters[key] = (
+            self._counter_for(key) + self.input_weight * request.num_prompt_tokens
+        )
+
+    def on_complete(self, request: LLMRequest, now: float) -> None:
+        key = self._tenant_key(request)
+        self.counters[key] = (
+            self._counter_for(key) + self.output_weight * request.num_output_tokens
+        )
+
+
 SCHEDULER_POLICY_REGISTRY = PolicyRegistry("scheduler policy")
 #: name -> class mapping (keys are lower-case); kept for membership checks.
 SCHEDULER_POLICIES: Dict[str, Type[SchedulingPolicy]] = SCHEDULER_POLICY_REGISTRY.policies
@@ -137,6 +237,7 @@ def register_scheduler_policy(policy_class: Type[SchedulingPolicy]) -> Type[Sche
 register_scheduler_policy(FCFSPolicy)
 register_scheduler_policy(PriorityPolicy)
 register_scheduler_policy(ShortestJobPolicy)
+register_scheduler_policy(VirtualTokenCounterPolicy)
 
 
 def available_scheduler_policies() -> List[str]:
@@ -244,6 +345,7 @@ class Scheduler:
             request.state = RequestState.RUNNING
             if request.timings.first_scheduled is None:
                 request.timings.first_scheduled = now
+            self.policy.on_scheduled(request, now)
             prefills.append(
                 PrefillItem(
                     request=request,
@@ -314,3 +416,4 @@ class Scheduler:
             self.running.remove(request)
         request.state = RequestState.FINISHED
         self.kv_cache.free_sequence(request, now=now)
+        self.policy.on_complete(request, now)

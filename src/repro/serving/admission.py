@@ -35,7 +35,18 @@ Built-in policies:
   ``slo_p95_s * exit_factor``, so the gate does not flap around the SLO.
   With ``cooperative=True`` the projection additionally credits in-flight
   autoscaler scale-ups landing within the forecast horizon, so the gate
-  sheds only when warm replicas cannot catch up in time.
+  sheds only when warm replicas cannot catch up in time,
+* :class:`OITThrottleAdmission` (``oit-throttle``) -- interaction-aware
+  per-tenant throttling: rolling per-user / per-app requests-per-minute
+  windows that bite only while the cluster is under KV or queue pressure,
+  and never sever an in-progress interaction (a tenant with work already
+  in flight is always admitted).
+
+Tenant-aware policies set the ``tenant_aware`` class flag and take the
+arrival's :class:`~repro.serving.tenants.Tenant` as an extra argument to
+``decide`` / ``admit`` / ``release``; the controller dispatches on the flag
+so existing two-argument policies (including externally registered ones)
+keep working unchanged.
 
 Policies are consulted per traffic class through the
 :class:`AdmissionController`, which owns the per-class policy table and all
@@ -144,6 +155,25 @@ class ClusterLoadProbe:
             drain *= active / (active + landing)
         return drain
 
+    # -- pressure signals (interaction-aware throttling) ---------------------
+    def kv_utilization(self) -> float:
+        """Highest KV-block occupancy across the fleet's engines (0..1).
+
+        The max, not the mean: one saturated replica is already preempting
+        and throttles should react to it even while its siblings are idle.
+        """
+        utilization = 0.0
+        for engine in self.cluster.engines:
+            total = engine.kv_cache.allocator.num_blocks
+            if total <= 0:
+                continue
+            utilization = max(utilization, engine.kv_cache.active_blocks() / total)
+        return utilization
+
+    def pending_per_active_replica(self) -> float:
+        """Requests enqueued fleet-wide per replica currently taking traffic."""
+        return self.cluster.num_pending_requests / max(self.active_replicas(), 1)
+
 
 # ---------------------------------------------------------------------------
 # Policies
@@ -160,9 +190,18 @@ class AdmissionPolicy:
     SLO-tracking policies); :meth:`retry_at` tells the driver when a delayed
     request should be re-offered spontaneously (``None`` = only when a
     completion frees capacity).
+
+    Tenant-aware policies set ``tenant_aware = True`` and accept the
+    arrival's tenant as a third positional argument to ``decide`` /
+    ``admit`` / ``release``; the controller checks the flag before passing
+    it, so the base two-argument signature stays valid for every existing
+    policy.
     """
 
     name = "base"
+    #: When True, the controller passes the arrival's Tenant to
+    #: decide/admit/release as an extra argument.
+    tenant_aware = False
 
     def decide(self, now: float, traffic_class: Optional[str]) -> str:
         raise NotImplementedError
@@ -423,6 +462,145 @@ class SloShedAdmission(AdmissionPolicy):
         return now + self.retry_interval_s
 
 
+class OITThrottleAdmission(AdmissionPolicy):
+    """Interaction-aware per-tenant overload throttling (``oit-throttle``).
+
+    Two rolling admission windows -- per user (``user_rpm``) and per app
+    (``app_rpm``), each a requests-per-minute allowance pro-rated over
+    ``window_s`` -- guard the door, but only while the cluster is actually
+    under pressure: KV-block utilisation at or above ``kv_threshold`` on any
+    engine, or the fleet's pending queue at or above ``queue_threshold``
+    requests per active replica (both read through the shared
+    :class:`ClusterLoadProbe`; with no probe the throttle never bites).
+    Off-pressure, heavy tenants run free -- the point of throttling on
+    *interaction* state rather than rate alone.
+
+    Interaction protection: a tenant with a request already in flight is
+    always admitted, whatever its windows say, so a multi-request
+    interaction that started before the overload is never severed halfway.
+    Untenanted arrivals are always admitted (there is nobody to attribute
+    them to).
+
+    Over-allowance requests are shed (``overload_action="reject"``, the
+    default) or held at the door and re-offered every ``retry_interval_s``
+    (``"delay"``).
+    """
+
+    name = "oit-throttle"
+    tenant_aware = True
+
+    def __init__(
+        self,
+        user_rpm: Optional[float] = 60.0,
+        app_rpm: Optional[float] = None,
+        window_s: float = 60.0,
+        kv_threshold: float = 0.85,
+        queue_threshold: float = 4.0,
+        overload_action: str = "reject",
+        load_probe: Optional[ClusterLoadProbe] = None,
+        retry_interval_s: Optional[float] = None,
+    ):
+        if user_rpm is None and app_rpm is None:
+            raise ValueError("oit-throttle needs user_rpm and/or app_rpm")
+        if user_rpm is not None and user_rpm <= 0:
+            raise ValueError("oit-throttle user_rpm must be > 0 (or None)")
+        if app_rpm is not None and app_rpm <= 0:
+            raise ValueError("oit-throttle app_rpm must be > 0 (or None)")
+        if window_s <= 0:
+            raise ValueError("oit-throttle window_s must be > 0")
+        if not 0 < kv_threshold <= 1:
+            raise ValueError("oit-throttle kv_threshold must be in (0, 1]")
+        if queue_threshold <= 0:
+            raise ValueError("oit-throttle queue_threshold must be > 0")
+        if overload_action not in (DELAY, REJECT):
+            raise ValueError(
+                f"oit-throttle overload_action must be {DELAY!r} or {REJECT!r}"
+            )
+        self.user_rpm = user_rpm
+        self.app_rpm = app_rpm
+        self.window_s = window_s
+        self.kv_threshold = kv_threshold
+        self.queue_threshold = queue_threshold
+        self.overload_action = overload_action
+        self.load_probe = load_probe
+        self.retry_interval_s = (
+            window_s / 4.0 if retry_interval_s is None else retry_interval_s
+        )
+        #: Admission timestamps per user / app key (pruned to the window).
+        self._user_windows: Dict[str, Deque[float]] = {}
+        self._app_windows: Dict[str, Deque[float]] = {}
+        #: In-flight request count per user (the interaction signal).
+        self._in_flight: Dict[str, int] = {}
+        #: Throttle decisions taken (telemetry).
+        self.throttled = 0
+
+    # -- signals -------------------------------------------------------------
+    def under_pressure(self, now: float) -> bool:
+        """True while the cluster justifies throttling anyone at all."""
+        probe = self.load_probe
+        if probe is None:
+            return False
+        if probe.kv_utilization() >= self.kv_threshold:
+            return True
+        return probe.pending_per_active_replica() >= self.queue_threshold
+
+    def _allowance(self, rpm: float) -> int:
+        """Admissions permitted inside one rolling window (at least one)."""
+        return max(1, int(rpm * self.window_s / 60.0))
+
+    def _window_full(
+        self, windows: Dict[str, Deque[float]], key: str, now: float, rpm: float
+    ) -> bool:
+        window = windows.get(key)
+        if window is None:
+            return False
+        cutoff = now - self.window_s
+        while window and window[0] <= cutoff:
+            window.popleft()
+        return len(window) >= self._allowance(rpm)
+
+    # -- decisions -----------------------------------------------------------
+    def decide(self, now: float, traffic_class: Optional[str], tenant=None) -> str:
+        if tenant is None:
+            return ADMIT
+        if self._in_flight.get(tenant.user, 0) > 0:
+            # Never sever an in-progress interaction.
+            return ADMIT
+        if not self.under_pressure(now):
+            return ADMIT
+        over_user = self.user_rpm is not None and self._window_full(
+            self._user_windows, tenant.user, now, self.user_rpm
+        )
+        over_app = self.app_rpm is not None and self._window_full(
+            self._app_windows, tenant.app, now, self.app_rpm
+        )
+        if over_user or over_app:
+            self.throttled += 1
+            return self.overload_action
+        return ADMIT
+
+    def admit(self, now: float, traffic_class: Optional[str], tenant=None) -> None:
+        if tenant is None:
+            return
+        self._user_windows.setdefault(tenant.user, deque()).append(now)
+        self._app_windows.setdefault(tenant.app, deque()).append(now)
+        self._in_flight[tenant.user] = self._in_flight.get(tenant.user, 0) + 1
+
+    def release(self, now: float, traffic_class: Optional[str], tenant=None) -> None:
+        if tenant is None:
+            return
+        remaining = self._in_flight.get(tenant.user, 0) - 1
+        if remaining > 0:
+            self._in_flight[tenant.user] = remaining
+        else:
+            self._in_flight.pop(tenant.user, None)
+
+    def retry_at(self, now: float) -> Optional[float]:
+        if self.overload_action != DELAY:
+            return None
+        return now + self.retry_interval_s
+
+
 ADMISSION_POLICY_REGISTRY = PolicyRegistry("admission policy")
 #: name -> class mapping (keys are lower-case); kept for membership checks.
 ADMISSION_POLICIES: Dict[str, Type[AdmissionPolicy]] = ADMISSION_POLICY_REGISTRY.policies
@@ -439,6 +617,7 @@ register_admission_policy(UnlimitedAdmission)
 register_admission_policy(ConcurrencyAdmission)
 register_admission_policy(TokenBucketAdmission)
 register_admission_policy(SloShedAdmission)
+register_admission_policy(OITThrottleAdmission)
 
 
 def available_admission_policies() -> List[str]:
@@ -460,6 +639,10 @@ def build_admission_policy(
     load_probe: Optional[ClusterLoadProbe] = None,
     cooperative: bool = False,
     horizon_s: float = 10.0,
+    user_rpm: Optional[float] = None,
+    app_rpm: Optional[float] = None,
+    kv_threshold: float = 0.85,
+    queue_threshold: float = 4.0,
 ) -> AdmissionPolicy:
     """Instantiate a registered admission policy from declarative parameters.
 
@@ -498,6 +681,17 @@ def build_admission_policy(
             load_probe=load_probe,
             cooperative=cooperative,
             horizon_s=horizon_s,
+        )
+    if key == "oit-throttle":
+        return OITThrottleAdmission(
+            # A spec leaving both unset gets the per-user default allowance.
+            user_rpm=user_rpm if (user_rpm is not None or app_rpm is not None) else 60.0,
+            app_rpm=app_rpm,
+            window_s=window_s,
+            kv_threshold=kv_threshold,
+            queue_threshold=queue_threshold,
+            overload_action=overload_action or REJECT,
+            load_probe=load_probe,
         )
     # Externally registered policies are built with their default
     # constructor; parameterise them by registering a pre-configured class.
@@ -586,6 +780,9 @@ class AdmissionController:
         self.class_pools = dict(class_pools or {})
         self.default_pool = default_pool
         self._counts: Dict[str, _Counts] = {}
+        # Per-tenant [offered, rejected] door totals (Tenant is frozen and
+        # hashable); feeds the per-run fairness report.
+        self._tenant_counts: Dict[object, List[int]] = {}
         # Per-pool rejection labels of the current run (lazy shed pricing):
         # id(pool) -> (pool, {label: rejections}); base = shed_tokens carried
         # over from previous runs on the same system.
@@ -617,34 +814,84 @@ class AdmissionController:
             return self.class_pools[traffic_class.lower()]
         return self.default_pool
 
+    # -- tenant-aware dispatch ----------------------------------------------
+    @staticmethod
+    def _decide(policy: AdmissionPolicy, now, traffic_class, tenant) -> str:
+        if getattr(policy, "tenant_aware", False):
+            return policy.decide(now, traffic_class, tenant)
+        return policy.decide(now, traffic_class)
+
+    @staticmethod
+    def _admit(policy: AdmissionPolicy, now, traffic_class, tenant) -> None:
+        if getattr(policy, "tenant_aware", False):
+            policy.admit(now, traffic_class, tenant)
+        else:
+            policy.admit(now, traffic_class)
+
+    @staticmethod
+    def _release(policy: AdmissionPolicy, now, traffic_class, tenant) -> None:
+        if getattr(policy, "tenant_aware", False):
+            policy.release(now, traffic_class, tenant)
+        else:
+            policy.release(now, traffic_class)
+
+    def _tenant_counts_for(self, tenant) -> Optional[List[int]]:
+        if tenant is None:
+            return None
+        counts = self._tenant_counts.get(tenant)
+        if counts is None:
+            counts = self._tenant_counts[tenant] = [0, 0]
+        return counts
+
+    def tenant_counts(self) -> Dict[object, Tuple[int, int]]:
+        """Per-tenant ``(offered, rejected)`` door totals for this run."""
+        return {
+            tenant: (offered, rejected)
+            for tenant, (offered, rejected) in self._tenant_counts.items()
+        }
+
     # -- decisions ----------------------------------------------------------
-    def offer(self, now: float, traffic_class: Optional[str]) -> str:
+    def offer(
+        self, now: float, traffic_class: Optional[str], tenant=None
+    ) -> str:
         """First consultation for an arriving request; counts it as offered."""
         counts = self._counts_for(traffic_class)
         counts.offered += 1
-        decision = self.policy_for(traffic_class).decide(now, traffic_class)
+        tenant_counts = self._tenant_counts_for(tenant)
+        if tenant_counts is not None:
+            tenant_counts[0] += 1
+        policy = self.policy_for(traffic_class)
+        decision = self._decide(policy, now, traffic_class, tenant)
         if decision == ADMIT:
             counts.admitted += 1
-            self.policy_for(traffic_class).admit(now, traffic_class)
+            self._admit(policy, now, traffic_class, tenant)
         elif decision == DELAY:
             counts.delayed += 1
         else:
-            self._record_rejection(traffic_class, counts)
+            self._record_rejection(traffic_class, counts, tenant)
         return decision
 
-    def readmit(self, now: float, traffic_class: Optional[str]) -> str:
+    def readmit(
+        self, now: float, traffic_class: Optional[str], tenant=None
+    ) -> str:
         """Re-offer a request already waiting at the door (no offered count)."""
         counts = self._counts_for(traffic_class)
-        decision = self.policy_for(traffic_class).decide(now, traffic_class)
+        policy = self.policy_for(traffic_class)
+        decision = self._decide(policy, now, traffic_class, tenant)
         if decision == ADMIT:
             counts.admitted += 1
-            self.policy_for(traffic_class).admit(now, traffic_class)
+            self._admit(policy, now, traffic_class, tenant)
         elif decision == REJECT:
-            self._record_rejection(traffic_class, counts)
+            self._record_rejection(traffic_class, counts, tenant)
         return decision
 
-    def _record_rejection(self, traffic_class: Optional[str], counts: _Counts) -> None:
+    def _record_rejection(
+        self, traffic_class: Optional[str], counts: _Counts, tenant=None
+    ) -> None:
         counts.rejected += 1
+        tenant_counts = self._tenant_counts_for(tenant)
+        if tenant_counts is not None:
+            tenant_counts[1] += 1
         pool = self._pool_for(traffic_class)
         if pool is not None:
             pool.rejected_requests += 1
@@ -662,12 +909,13 @@ class AdmissionController:
         traffic_class: Optional[str],
         latency: float,
         output_tokens: int,
+        tenant=None,
     ) -> None:
         """A worker finished: free its slot and feed latency telemetry."""
         counts = self._counts_for(traffic_class)
         counts.completed += 1
         counts.output_tokens += output_tokens
-        self.policy_for(traffic_class).release(now, traffic_class)
+        self._release(self.policy_for(traffic_class), now, traffic_class, tenant)
         for policy in self.policies:
             policy.observe(now, traffic_class, latency, output_tokens)
 
@@ -720,5 +968,6 @@ class AdmissionController:
     def reset_counts(self) -> None:
         """Clear per-run accounting (policy state -- buckets, windows -- persists)."""
         self._counts.clear()
+        self._tenant_counts.clear()
         self._pool_rejections.clear()
         self._pool_shed_base.clear()

@@ -28,6 +28,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.serving.shapes import ConstantShape, RateShape, iter_deterministic_arrivals
+from repro.serving.tenants import Tenant, TenantPopulation, TenantSpec
 from repro.sim.distributions import DeterministicArrivals, PoissonArrivals, RandomStream
 from repro.workloads.base import Task, Workload
 
@@ -42,18 +43,24 @@ class ArrivalPlan:
 
     ``traffic_classes`` optionally labels each arrival with the traffic class
     it was sampled from (mixture plans); single-workload plans leave it
-    ``None``.
+    ``None``.  ``tenants`` optionally labels each arrival with the
+    :class:`~repro.serving.tenants.Tenant` that issued it (``None`` for
+    untenanted plans, and per-entry ``None`` for arrivals of untenanted
+    classes inside a partially tenanted mixture).
     """
 
     arrival_times: List[float]
     tasks: List[Task]
     traffic_classes: Optional[List[str]] = None
+    tenants: Optional[List[Optional[Tenant]]] = None
 
     def __post_init__(self) -> None:
         if len(self.arrival_times) != len(self.tasks):
             raise ValueError("arrival_times and tasks must have the same length")
         if self.traffic_classes is not None and len(self.traffic_classes) != len(self.tasks):
             raise ValueError("traffic_classes must label every task")
+        if self.tenants is not None and len(self.tenants) != len(self.tasks):
+            raise ValueError("tenants must label every task")
         if any(b < a for a, b in zip(self.arrival_times, self.arrival_times[1:])):
             raise ValueError("arrival times must be non-decreasing")
 
@@ -62,6 +69,12 @@ class ArrivalPlan:
         if self.traffic_classes is None:
             return [None] * len(self.tasks)
         return list(self.traffic_classes)
+
+    def tenant_labels(self) -> List[Optional[Tenant]]:
+        """Per-arrival tenant identities (``None`` s for untenanted plans)."""
+        if self.tenants is None:
+            return [None] * len(self.tasks)
+        return list(self.tenants)
 
     def __len__(self) -> int:
         return len(self.tasks)
@@ -77,12 +90,34 @@ class ArrivalPlan:
         return len(self.arrival_times) / self.duration
 
 
+def _sampled_tenants(
+    tenants: Optional[TenantSpec],
+    count: int,
+    stream: Optional[RandomStream],
+    substream: str = "tenants",
+) -> Optional[List[Tenant]]:
+    """Per-arrival tenant draws from a dedicated substream (``None`` = untenanted).
+
+    Tenant draws come from their own substream, created only when a tenant
+    spec is present, so untenanted plans consume exactly the same random
+    numbers as before tenants existed (bit-for-bit golden pins hold).
+    """
+    if tenants is None:
+        return None
+    if stream is None:
+        raise ValueError("tenanted plans need a RandomStream to draw tenants from")
+    from repro.serving.tenants import sample_tenants
+
+    return sample_tenants(tenants, count, stream.substream(substream))
+
+
 def poisson_plan(
     workload: Workload,
     qps: float,
     num_requests: int,
     stream: RandomStream,
     task_pool_size: int = 64,
+    tenants: Optional[TenantSpec] = None,
 ) -> ArrivalPlan:
     """Poisson arrivals at ``qps`` with tasks sampled (with replacement) from a pool."""
     if num_requests < 1:
@@ -91,7 +126,11 @@ def poisson_plan(
     arrivals = PoissonArrivals(qps, stream.substream("arrivals")).arrival_times(num_requests)
     pick_stream = stream.substream("task-pick")
     tasks = [pool[pick_stream.integers(0, len(pool))] for _ in range(num_requests)]
-    return ArrivalPlan(arrival_times=arrivals, tasks=tasks)
+    return ArrivalPlan(
+        arrival_times=arrivals,
+        tasks=tasks,
+        tenants=_sampled_tenants(tenants, num_requests, stream),
+    )
 
 
 def uniform_plan(
@@ -100,12 +139,17 @@ def uniform_plan(
     num_requests: int,
     task_pool_size: int = 64,
     stream: RandomStream | None = None,
+    tenants: Optional[TenantSpec] = None,
 ) -> ArrivalPlan:
     """Evenly spaced arrivals (deterministic), useful for calibration tests."""
     pool = workload.sample_tasks(max(task_pool_size, 1))
     arrivals = DeterministicArrivals(qps).arrival_times(num_requests)
     tasks = [pool[index % len(pool)] for index in range(num_requests)]
-    return ArrivalPlan(arrival_times=arrivals, tasks=tasks)
+    return ArrivalPlan(
+        arrival_times=arrivals,
+        tasks=tasks,
+        tenants=_sampled_tenants(tenants, num_requests, stream),
+    )
 
 
 def sequential_plan(workload: Workload, num_requests: int) -> ArrivalPlan:
@@ -221,6 +265,7 @@ def shaped_plan(
     task_pool_size: int = 64,
     process: str = "poisson",
     duration_s: Optional[float] = None,
+    tenants: Optional[TenantSpec] = None,
 ) -> ArrivalPlan:
     """One workload served by a shaped arrival process (a traffic program).
 
@@ -240,9 +285,13 @@ def shaped_plan(
         raise ValueError("duration_s must be > 0 (or None for count semantics)")
     if _is_identity(shape) and duration_s is None:
         if process == "poisson":
-            return poisson_plan(workload, qps, num_requests, stream, task_pool_size)
+            return poisson_plan(
+                workload, qps, num_requests, stream, task_pool_size, tenants=tenants
+            )
         if process == "uniform":
-            return uniform_plan(workload, qps, num_requests, task_pool_size, stream)
+            return uniform_plan(
+                workload, qps, num_requests, task_pool_size, stream, tenants=tenants
+            )
         raise ValueError(f"shaped plans support poisson/uniform, not {process!r}")
     if process == "poisson":
         arrivals = _thinned_arrivals(
@@ -264,14 +313,54 @@ def shaped_plan(
         tasks = [pool[pick_stream.integers(0, len(pool))] for _ in times]
     else:
         tasks = [pool[index % len(pool)] for index in range(len(times))]
-    return ArrivalPlan(arrival_times=times, tasks=tasks)
+    return ArrivalPlan(
+        arrival_times=times,
+        tasks=tasks,
+        tenants=_sampled_tenants(tenants, len(times), stream),
+    )
 
 
-#: One traffic class of a mixture: (label, workload, weight[, shape]).
+#: One traffic class of a mixture: (label, workload, weight[, shape[, tenants]]).
 MixtureComponent = Union[
     Tuple[str, Workload, float],
     Tuple[str, Workload, float, Optional[RateShape]],
+    Tuple[str, Workload, float, Optional[RateShape], Optional[TenantSpec]],
 ]
+
+
+class _MixtureTenants:
+    """Lazy per-class tenant samplers for a mixture plan.
+
+    Each tenanted class gets its own :class:`TenantPopulation` and
+    ``tenants/{label}`` substream, created on first use, so untenanted
+    classes never touch the random state and the plan's tenant column is
+    ``None`` when no class is tenanted at all.
+    """
+
+    def __init__(
+        self,
+        stream: RandomStream,
+        specs: Dict[str, Optional[TenantSpec]],
+    ):
+        self._stream = stream
+        self._specs = specs
+        self._populations: Dict[str, TenantPopulation] = {}
+        self._streams: Dict[str, RandomStream] = {}
+        self.any_tenanted = any(spec is not None for spec in specs.values())
+
+    def sample(self, label: str) -> Optional[Tenant]:
+        spec = self._specs[label]
+        if spec is None:
+            return None
+        population = self._populations.get(label)
+        if population is None:
+            population = TenantPopulation(spec)
+            self._populations[label] = population
+            self._streams[label] = self._stream.substream(f"tenants/{label}")
+        return population.sample(self._streams[label])
+
+    def column(self, drawn: List[Optional[Tenant]]) -> Optional[List[Optional[Tenant]]]:
+        return drawn if self.any_tenanted else None
 
 
 def mixture_plan(
@@ -283,12 +372,16 @@ def mixture_plan(
     process: str = "poisson",
     shape: Optional[RateShape] = None,
     duration_s: Optional[float] = None,
+    tenants: Optional[TenantSpec] = None,
 ) -> ArrivalPlan:
     """One arrival process over a weighted mixture of traffic classes.
 
-    ``components`` is a sequence of ``(label, workload, weight)`` or
-    ``(label, workload, weight, shape)``; every arrival is tagged with the
-    class label so the cluster can route it to the right pool.
+    ``components`` is a sequence of ``(label, workload, weight)``,
+    ``(label, workload, weight, shape)`` or ``(label, workload, weight,
+    shape, tenants)``; every arrival is tagged with the class label so the
+    cluster can route it to the right pool.  A per-class :class:`TenantSpec`
+    overrides the plan-level ``tenants`` default for that class; each
+    tenanted class draws from its own user population on its own substream.
 
     Without shaping (the legacy path, bit-for-bit preserved): one arrival
     process at ``qps``, each arrival drawing its traffic class by weight and
@@ -311,12 +404,17 @@ def mixture_plan(
         (entry[0], entry[1], entry[2], entry[3] if len(entry) > 3 else None)
         for entry in components
     ]
+    tenant_specs: Dict[str, Optional[TenantSpec]] = {
+        entry[0]: (entry[4] if len(entry) > 4 and entry[4] is not None else tenants)
+        for entry in components
+    }
     total_weight = sum(weight for _, _, weight, _ in normalized)
     if total_weight <= 0:
         raise ValueError("mixture weights must sum to > 0")
     if process not in ("poisson", "uniform"):
         raise ValueError(f"mixture plans support poisson/uniform, not {process!r}")
     labels = [label for label, _, _, _ in normalized]
+    mixture_tenants = _MixtureTenants(stream, tenant_specs)
     pools: Dict[str, List[Task]] = {
         label: workload.sample_tasks(max(task_pool_size, 1))
         for label, workload, _, _ in normalized
@@ -342,12 +440,19 @@ def mixture_plan(
         }
         chosen: List[str] = []
         tasks: List[Task] = []
+        drawn: List[Optional[Tenant]] = []
         for _ in range(num_requests):
             label = class_stream.choice(labels, p=probabilities)
             pool = pools[label]
             tasks.append(pool[pick_streams[label].integers(0, len(pool))])
             chosen.append(label)
-        return ArrivalPlan(arrival_times=arrivals, tasks=tasks, traffic_classes=chosen)
+            drawn.append(mixture_tenants.sample(label))
+        return ArrivalPlan(
+            arrival_times=arrivals,
+            tasks=tasks,
+            traffic_classes=chosen,
+            tenants=mixture_tenants.column(drawn),
+        )
     # Shaped mixture: superposed per-class shaped processes.  Each class has
     # its own substreams so adding/reshaping one class never perturbs the
     # arrival times of another.
@@ -379,6 +484,7 @@ def mixture_plan(
     times: List[float] = []
     tasks = []
     chosen = []
+    drawn = []
     while merged and len(times) < num_requests:
         t, index = heapq.heappop(merged)
         if duration_s is not None and t > duration_s:
@@ -394,6 +500,7 @@ def mixture_plan(
             round_robin[index] += 1
         times.append(t)
         chosen.append(label)
+        drawn.append(mixture_tenants.sample(label))
         upcoming = next(streams[index], None)
         if upcoming is not None:
             heapq.heappush(merged, (upcoming, index))
@@ -402,4 +509,9 @@ def mixture_plan(
             "shaped mixture generated no arrivals: every class stays at zero "
             "rate for the whole plan span"
         )
-    return ArrivalPlan(arrival_times=times, tasks=tasks, traffic_classes=chosen)
+    return ArrivalPlan(
+        arrival_times=times,
+        tasks=tasks,
+        traffic_classes=chosen,
+        tenants=mixture_tenants.column(drawn),
+    )

@@ -29,6 +29,7 @@ from repro.core.metrics import (
 from repro.serving.admission import ClassAdmissionStats
 from repro.serving.cluster import ScalingEvent
 from repro.serving.loadgen import ArrivalPlan
+from repro.serving.tenants import TenantFairnessStats
 
 
 @dataclass(frozen=True)
@@ -91,6 +92,9 @@ class ServingResult:
     # Per forecast-triggered grow: seconds of head start over the reactive
     # trigger (queue pressure crossing the scale-up threshold).
     scale_ahead_leads: List[float] = field(default_factory=list)
+    # Per-tenant fairness accounting over the contended window (None for
+    # untenanted runs).
+    tenant_stats: Optional[TenantFairnessStats] = None
 
     @property
     def num_completed(self) -> int:
@@ -185,6 +189,32 @@ class ServingResult:
         return mean(
             [1.0 if latency <= self.slo_p95_s else 0.0 for latency in self.latencies]
         )
+
+    # -- per-tenant fairness ---------------------------------------------------
+    @property
+    def served_token_ratio(self) -> Optional[float]:
+        """Served-token max/min ratio across contending tenants (1.0 = fair).
+
+        ``None`` for untenanted runs; ``inf`` when a contending tenant was
+        fully starved within the contended window.
+        """
+        if self.tenant_stats is None:
+            return None
+        return self.tenant_stats.max_min_ratio
+
+    @property
+    def jain_fairness(self) -> Optional[float]:
+        """Jain's fairness index over per-tenant served tokens (``None`` untenanted)."""
+        if self.tenant_stats is None:
+            return None
+        return self.tenant_stats.jain
+
+    @property
+    def tenant_throttle_rate(self) -> Optional[float]:
+        """Door rejection fraction of tenanted offers (``None`` untenanted)."""
+        if self.tenant_stats is None:
+            return None
+        return self.tenant_stats.throttle_rate
 
     def per_class_admission(self) -> List[Dict[str, object]]:
         """One flat row per traffic class of the door accounting."""

@@ -52,6 +52,7 @@ class TestSchedulerPolicies:
             "fcfs",
             "priority",
             "sjf-by-predicted-decode",
+            "vtc",
         ]
 
     def test_unknown_policy_rejected(self):

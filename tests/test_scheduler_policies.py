@@ -1,0 +1,145 @@
+"""Admission-order policy contracts: determinism pin and vtc behaviour.
+
+Pins the determinism contract documented on
+:meth:`~repro.llm.scheduler.SchedulingPolicy.select_index`: comparison
+policies scan from index 0 and replace the incumbent only on a strict
+win, so all-equal scores reproduce FCFS exactly.  Also covers the
+virtual-token-counter policy: counter accounting through the
+on_scheduled/on_complete hooks, lazy newcomer joining, tenant-key
+fallback, and least-served-first selection.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import pytest
+
+from repro.llm import Prompt, SamplingParams
+from repro.llm.request import LLMRequest
+from repro.llm.scheduler import (
+    FCFSPolicy,
+    PriorityPolicy,
+    ShortestJobPolicy,
+    VirtualTokenCounterPolicy,
+    create_scheduler_policy,
+)
+from repro.llm.tokenizer import SegmentKind, SyntheticTokenizer
+
+TOKENIZER = SyntheticTokenizer()
+
+
+def make_request(
+    prompt_tokens: int = 32,
+    output_tokens: int = 16,
+    stream: str = "req",
+    metadata: dict | None = None,
+) -> LLMRequest:
+    prompt = Prompt()
+    prompt.append(TOKENIZER.span(SegmentKind.USER, stream, prompt_tokens))
+    return LLMRequest(
+        prompt=prompt,
+        sampling=SamplingParams(output_tokens=output_tokens),
+        metadata=metadata,
+    )
+
+
+class TestDeterminismContract:
+    """All-equal scores must reproduce FCFS: strict-win scans from index 0."""
+
+    def _drain(self, policy, requests):
+        waiting = deque(requests)
+        order = []
+        while waiting:
+            index = policy.select_index(waiting, now=0.0)
+            order.append(waiting[index])
+            del waiting[index]
+        return order
+
+    def test_priority_all_equal_is_fcfs(self):
+        requests = [make_request(stream=f"r{i}") for i in range(6)]
+        assert self._drain(PriorityPolicy(), list(requests)) == requests
+
+    def test_sjf_all_equal_is_fcfs(self):
+        # Identical predicted decode lengths -> arrival order preserved.
+        requests = [
+            make_request(stream=f"r{i}", output_tokens=16) for i in range(6)
+        ]
+        assert self._drain(ShortestJobPolicy(), list(requests)) == requests
+
+    def test_vtc_all_equal_is_fcfs(self):
+        # One shared tenant key (no metadata) -> every counter identical.
+        requests = [make_request(stream=f"r{i}") for i in range(6)]
+        assert self._drain(VirtualTokenCounterPolicy(), list(requests)) == requests
+
+    def test_vtc_equal_counters_across_tenants_is_fcfs(self):
+        requests = [
+            make_request(stream=f"r{i}", metadata={"tenant": f"u{i}"})
+            for i in range(6)
+        ]
+        assert self._drain(VirtualTokenCounterPolicy(), list(requests)) == requests
+
+    def test_priority_strict_win_required(self):
+        # The LAST highest-priority request must not displace the first.
+        requests = [
+            make_request(stream="a", metadata={"priority": 1.0}),
+            make_request(stream="b", metadata={"priority": 1.0}),
+            make_request(stream="c", metadata={"priority": 0.0}),
+        ]
+        assert PriorityPolicy().select_index(deque(requests), 0.0) == 0
+
+
+class TestVirtualTokenCounter:
+    def test_registered(self):
+        assert isinstance(create_scheduler_policy("vtc"), VirtualTokenCounterPolicy)
+
+    def test_weight_validation(self):
+        with pytest.raises(ValueError, match="weights"):
+            VirtualTokenCounterPolicy(input_weight=-1.0)
+
+    def test_least_served_tenant_goes_first(self):
+        policy = VirtualTokenCounterPolicy()
+        whale = make_request(prompt_tokens=64, stream="w", metadata={"tenant": "whale"})
+        tail = make_request(prompt_tokens=8, stream="t", metadata={"tenant": "tail"})
+        policy.on_scheduled(tail, 0.0)  # tail charged 8 tokens of prefill
+        policy.on_scheduled(whale, 0.0)  # whale joins at 8, charged 64 more
+        waiting = deque(
+            [
+                make_request(stream="w2", metadata={"tenant": "whale"}),
+                make_request(stream="t2", metadata={"tenant": "tail"}),
+            ]
+        )
+        assert policy.select_index(waiting, 1.0) == 1  # tail has the lower counter
+
+    def test_counters_charge_input_and_output(self):
+        policy = VirtualTokenCounterPolicy(input_weight=1.0, output_weight=2.0)
+        request = make_request(prompt_tokens=10, stream="x", metadata={"tenant": "u1"})
+        policy.on_scheduled(request, 0.0)
+        assert policy.counters["u1"] == pytest.approx(10.0)
+        request.output_token_ids.extend([1, 2, 3])
+        policy.on_complete(request, 1.0)
+        assert policy.counters["u1"] == pytest.approx(10.0 + 2.0 * 3)
+
+    def test_newcomer_joins_at_live_minimum(self):
+        policy = VirtualTokenCounterPolicy()
+        policy.counters.update({"a": 100.0, "b": 40.0})
+        fresh = make_request(stream="f", metadata={"tenant": "fresh"})
+        waiting = deque(
+            [make_request(stream="a2", metadata={"tenant": "a"}), fresh]
+        )
+        assert policy.select_index(waiting, 0.0) == 1
+        # Joined at min(100, 40), not zero: no unbounded idle credit.
+        assert policy.counters["fresh"] == pytest.approx(40.0)
+
+    def test_traffic_class_fallback(self):
+        policy = VirtualTokenCounterPolicy()
+        request = make_request(stream="c", metadata={"traffic_class": "chat"})
+        policy.on_scheduled(request, 0.0)
+        assert "chat" in policy.counters
+
+    def test_preemption_recharges_prefill(self):
+        policy = VirtualTokenCounterPolicy(input_weight=1.0, output_weight=0.0)
+        request = make_request(prompt_tokens=10, stream="p", metadata={"tenant": "u"})
+        policy.on_scheduled(request, 0.0)
+        policy.on_scheduled(request, 1.0)  # re-admission after preemption
+        assert policy.counters["u"] == pytest.approx(20.0)
