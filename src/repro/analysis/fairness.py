@@ -139,6 +139,7 @@ def fairness_study(
     max_num_seqs: int = 2,
     task_pool_size: int = 10,
     seed: int = 0,
+    parallel: int = 1,
 ) -> FairnessStudyResult:
     """Sweep scheduler x tenant skew x load on the tenanted mixture.
 
@@ -149,6 +150,9 @@ def fairness_study(
     engine batch so requests genuinely contend at the scheduler's admission
     door -- with an unbounded batch every policy admits immediately and the
     policies are indistinguishable.
+
+    ``parallel`` fans the grid points out over a process pool (see
+    :func:`repro.api.run_study`); results are bit-identical to serial runs.
     """
     base = ExperimentSpec(
         workloads=(
@@ -196,4 +200,6 @@ def fairness_study(
         ),
         name="tenant-fairness",
     )
-    return FairnessStudyResult(result=run_study(study), chat_slo_s=chat_slo_s)
+    return FairnessStudyResult(
+        result=run_study(study, parallel=parallel), chat_slo_s=chat_slo_s
+    )

@@ -155,6 +155,7 @@ class SystemBuilder:
                 **scheduler_kwargs,
             ),
             max_decode_chunk=max_decode_chunk,
+            decode_fast_forward=spec.decode_fast_forward,
         )
 
     def stream_name(self) -> str:

@@ -721,6 +721,9 @@ def run_experiment(
     ``tasks`` optionally overrides the workload sample for ``single``-arrival
     (characterization) experiments.
     """
+    from repro.llm.request import reset_request_ids
+
+    reset_request_ids()
     system = SystemBuilder(spec).build()
     process = spec.arrival.process
     if process == "single":

@@ -556,6 +556,10 @@ class ExperimentSpec:
     measurement: MeasurementSpec = field(default_factory=MeasurementSpec)
     seed: int = 0
     max_decode_chunk: int = 1
+    # Fast-forward uninterrupted decode stretches in one simulated event
+    # (bit-for-bit identical results; see EngineConfig.decode_fast_forward).
+    # Disable to force the reference one-event-per-token path.
+    decode_fast_forward: bool = True
     max_concurrency: Optional[int] = None
     # Admission policy guarding the serving door (None = the legacy
     # behaviour: unlimited, or the enforced concurrency gate when

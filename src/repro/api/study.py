@@ -584,9 +584,26 @@ class StudyResult:
         return sweep
 
 
+def _run_study_point(payload: Tuple[StudySpec, int]) -> ResultSet:
+    """Execute one grid point by index (module-level so it pickles).
+
+    Workers receive the whole study plus the point's position in
+    :meth:`StudySpec.expand` order and rebuild the concrete spec
+    themselves, so the parent never has to ship non-picklable callables --
+    and every worker derives the point exactly the way the serial loop
+    does, keeping seeds and spec construction identical.
+    """
+    from repro.api.runners import run_experiment
+
+    study, index = payload
+    coords, _labels, seed = study.expand()[index]
+    return run_experiment(study.spec_for(coords, seed))
+
+
 def run_study(
     study: StudySpec,
     progress: Optional[Callable[[StudyPoint], None]] = None,
+    parallel: int = 1,
 ) -> StudyResult:
     """Execute every point of the study grid (fresh system per point).
 
@@ -595,18 +612,39 @@ def run_study(
     :func:`~repro.api.runners.run_experiment`, so a one-point study is
     exactly one experiment and a one-axis qps study is exactly the legacy
     sweep.  ``progress`` (optional) is called after each completed point.
+
+    ``parallel=N`` fans the points out over a ``ProcessPoolExecutor`` with
+    ``N`` workers.  Points are independent (fresh simulation, per-point
+    seed), so the merged :class:`StudyResult` is bit-for-bit identical to
+    serial execution: same expansion order, same seeds, same tabulation.
+    ``progress`` still fires in expansion order as results stream back.
     """
     from repro.api.runners import run_experiment
 
+    if parallel < 1:
+        raise ValueError(f"parallel must be >= 1, got {parallel}")
+    grid = study.expand()
     result = StudyResult(study=study)
-    for coords, labels, seed in study.expand():
-        spec = study.spec_for(coords, seed)
-        outcome = run_experiment(spec)
+
+    def _append(index: int, outcome: ResultSet) -> None:
+        coords, labels, seed = grid[index]
         point = StudyPoint(
-            coords=dict(coords), labels=dict(labels), seed=seed, spec=spec,
-            outcome=outcome,
+            coords=dict(coords), labels=dict(labels), seed=seed,
+            spec=study.spec_for(coords, seed), outcome=outcome,
         )
         result.points.append(point)
         if progress is not None:
             progress(point)
+
+    if parallel > 1 and len(grid) > 1:
+        from concurrent.futures import ProcessPoolExecutor
+
+        workers = min(parallel, len(grid))
+        tasks = [(study, index) for index in range(len(grid))]
+        with ProcessPoolExecutor(max_workers=workers) as executor:
+            for index, outcome in enumerate(executor.map(_run_study_point, tasks)):
+                _append(index, outcome)
+    else:
+        for index, (coords, _labels, seed) in enumerate(grid):
+            _append(index, run_experiment(study.spec_for(coords, seed)))
     return result

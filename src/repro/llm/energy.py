@@ -48,6 +48,30 @@ class EnergyMeter:
         self.seconds_by_state[state] += duration_s
         return joules
 
+    def record_series(self, state: PowerState, durations_s: "list[float]") -> "list[float]":
+        """Account a run of consecutive dwell times in one state.
+
+        Performs the same per-duration float accumulation as calling
+        :meth:`record` once per entry (so totals are bit-identical), but
+        resolves the state power and dict slots once.  Used by the engine's
+        decode fast-forward replay, which books one entry per virtual token.
+        """
+        power = self.cluster.power_w(state.value)
+        joules_total = self.joules_by_state[state]
+        seconds_total = self.seconds_by_state[state]
+        series: "list[float]" = []
+        append = series.append
+        for duration_s in durations_s:
+            if duration_s < 0:
+                raise ValueError("duration must be non-negative")
+            joules = power * duration_s
+            joules_total += joules
+            seconds_total += duration_s
+            append(joules)
+        self.joules_by_state[state] = joules_total
+        self.seconds_by_state[state] = seconds_total
+        return series
+
     @property
     def total_joules(self) -> float:
         return sum(self.joules_by_state.values())

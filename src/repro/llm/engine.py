@@ -15,9 +15,10 @@ utilization, and KV-memory statistics exactly the way the paper reports them.
 
 from __future__ import annotations
 
+import heapq
 from bisect import bisect_left, bisect_right
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.llm.energy import EnergyMeter, PowerState
 from repro.llm.hardware import ClusterSpec, cluster_for_model
@@ -45,12 +46,21 @@ class EngineConfig:
     # simulation; larger values trade a bounded amount of queueing fidelity
     # (new arrivals wait for the in-flight chunk) for simulation speed.
     max_decode_chunk: int = 1
+    # Exact decode fast-forwarding: collapse runs of per-token decode steps
+    # into one simulated event up to the next scheduling boundary (arrival,
+    # completion, KV-allocation pressure, run horizon), reconstructing every
+    # per-token timing so results are bit-for-bit identical to the per-token
+    # path.  Unlike ``max_decode_chunk`` this is not an approximation; it is
+    # on by default and only disabled for A/B-testing the equivalence.
+    decode_fast_forward: bool = True
 
     def resolved_cluster(self) -> ClusterSpec:
         return self.cluster if self.cluster is not None else cluster_for_model(self.model)
 
 
-@dataclass(frozen=True)
+# Not frozen: records are created once per simulated step on the hot path,
+# and a frozen dataclass pays object.__setattr__ per field in __init__.
+@dataclass(slots=True)
 class EngineStepRecord:
     """One engine step (or idle period) for offline analysis."""
 
@@ -128,6 +138,7 @@ class LLMEngine:
 
     def _run(self):
         while True:
+            preemptions_before = self.scheduler.preemption_count
             step = self.scheduler.schedule(now=self.env.now)
             if step is None:
                 yield from self._idle_until_work()
@@ -135,7 +146,8 @@ class LLMEngine:
             if step.kind == StepKind.PREFILL:
                 yield from self._execute_prefill(step)
             else:
-                yield from self._execute_decode(step)
+                preempted = self.scheduler.preemption_count != preemptions_before
+                yield from self._execute_decode(step, preempted)
 
     def _idle_until_work(self):
         idle_start = self.env.now
@@ -191,8 +203,7 @@ class LLMEngine:
             energy_joules=joules,
         )
 
-    def _execute_decode(self, step: ScheduledStep):
-        start = self.env.now
+    def _execute_decode(self, step: ScheduledStep, preempted: bool = False):
         if not step.decodes:
             # Everything got preempted; yield a minimal scheduling delay so
             # the loop makes progress and retries admission.
@@ -200,7 +211,16 @@ class LLMEngine:
             yield self.env.timeout(duration)
             self.energy.record(PowerState.IDLE, duration)
             return
+        if self.config.max_decode_chunk > 1 and self.scheduler.num_waiting == 0:
+            # Legacy approximate chunking (opt-in knob): one roofline step for
+            # up to ``max_decode_chunk`` tokens, trading queueing fidelity for
+            # speed.  Kept for configs that ask for it explicitly.
+            yield from self._execute_decode_approx(step)
+            return
+        yield from self._execute_decode_exact(step, preempted)
 
+    def _execute_decode_approx(self, step: ScheduledStep):
+        start = self.env.now
         chunk = self._decode_chunk_size(step)
         context_lengths = [request.context_length for request in step.decodes]
         duration = 0.0
@@ -210,9 +230,10 @@ class LLMEngine:
             )
         if chunk > 1:
             # Reserve KV space for the extra tokens of the chunk up front.
+            # ``_decode_chunk_size`` clamped the chunk to the free-block
+            # headroom, so this reservation cannot over-commit the cache.
             for request in step.decodes:
-                for _ in range(chunk - 1):
-                    self.kv_cache.append_token(request, now=self.env.now)
+                self.kv_cache.reserve_tokens(request, chunk, now=self.env.now)
         yield self.env.timeout(duration)
         joules = self.energy.record(PowerState.DECODE, duration)
 
@@ -242,14 +263,250 @@ class LLMEngine:
         if max_chunk == 1 or self.scheduler.num_waiting > 0:
             return 1
         remaining = min(request.remaining_output_tokens for request in step.decodes)
-        return max(1, min(max_chunk, remaining))
+        chunk = max(1, min(max_chunk, remaining))
+        # Clamp to KV headroom: the chunk grows every sequence's context by
+        # ``chunk`` tokens, so the blocks that growth needs must fit in the
+        # free pool -- otherwise the reservation would steal blocks that the
+        # preemption machinery assumes are still available.
+        block_size = self.kv_cache.block_size
+        free = self.kv_cache.num_free_blocks()
+        while chunk > 1:
+            needed = 0
+            for request in step.decodes:
+                target_blocks = -(-(request.context_length + chunk) // block_size)
+                needed += max(0, target_blocks - len(request.block_ids))
+            if needed <= free:
+                break
+            chunk -= 1
+        return chunk
+
+    def _execute_decode_exact(self, step: ScheduledStep, preempted: bool):
+        """Decode with exact fast-forwarding.
+
+        Advances the decode batch as many token steps as can be proven
+        unobservable -- strictly before the next pending event
+        (:meth:`Environment.peek`), within the active run horizon, before the
+        earliest request completion, within the KV free-block budget, and only
+        when this step's scheduling did not preempt -- in a single simulated
+        event, then replays the per-token bookkeeping (energy accounting,
+        per-request decode time and output tokens, KV block growth, step
+        records) with the exact float sequencing of the per-token path.  The
+        result is bit-for-bit identical to running one token per event.
+        """
+        start = self.env.now
+        decodes = step.decodes
+        context_lengths = [request.context_length for request in decodes]
+        first_duration = self.perf.decode_step_time(context_lengths)
+        durations = [first_duration]
+        alloc_plan: Dict[int, List[int]] = {}
+        if (
+            self.config.decode_fast_forward
+            and not preempted
+            and (
+                self.scheduler.num_waiting == 0
+                or self.scheduler.policy.time_invariant_select
+            )
+        ):
+            k_limit = min(request.remaining_output_tokens for request in decodes)
+            if k_limit > 1:
+                durations, alloc_plan = self._plan_decode_chunk(
+                    start, first_duration, context_lengths, decodes, k_limit
+                )
+        wake = start
+        for duration in durations:
+            wake = wake + duration
+        yield self.env.timeout_at(wake)
+
+        # Replay the per-token effects in the order the per-token loop
+        # produces them: for each virtual step i at [s_i, e_i] -- energy,
+        # per-request decode time + output token, completions (last step
+        # only; earlier steps cannot complete by construction), the step
+        # record (sampling KV state before the next step's reservations),
+        # then the KV appends for step i+1.  Only requests the plan proved
+        # need a block at this boundary hit the allocator: the per-token
+        # path's other append_token calls are no-ops with no side effects.
+        k = len(durations)
+        batch = len(decodes)
+        tokens_per_request = [
+            self.tokenizer.synthetic_tokens(
+                f"output:{request.request_id}",
+                request.num_output_tokens + k,
+                start=request.num_output_tokens,
+            )
+            for request in decodes
+        ]
+        last = k - 1
+        joules_series = self.energy.record_series(PowerState.DECODE, durations)
+        append_kv = self.kv_cache.append_token
+        timings = [request.timings for request in decodes]
+        outputs = [request.output_token_ids for request in decodes]
+        # Inlined _record_step: the chunk runs with no other process observing
+        # engine state, so the batch size, waiting count, and (between planned
+        # block allocations, each of which adds exactly one active block) the
+        # KV occupancy are known without re-deriving them per virtual step.
+        # The last step re-samples both after completions run, exactly where
+        # the per-token path samples them.
+        allocator = self.kv_cache.allocator
+        bytes_per_block = allocator.config.bytes_per_block
+        kv_blocks = allocator.num_active_blocks
+        num_waiting = self.scheduler.num_waiting
+        records = self.step_records
+        starts = self._record_starts
+        ends = self._record_ends
+        breakdown_decode = self._full_breakdown["decode"]
+        kv_time = self._full_kv_time
+        kv_weighted = self._full_kv_weighted
+        kv_max = self._full_kv_max
+        self.total_generated_tokens += batch * k
+        step_start = start
+        for index, duration in enumerate(durations):
+            step_end = step_start + duration
+            joules = joules_series[index]
+            for pos, tokens in enumerate(tokens_per_request):
+                timings[pos].decode_time += duration
+                outputs[pos].append(tokens[index])
+            if index == last:
+                self._finish_completed(decodes)
+                kv_blocks = allocator.num_active_blocks
+                num_waiting = self.scheduler.num_waiting
+            kv_bytes = kv_blocks * bytes_per_block
+            records.append(
+                EngineStepRecord(
+                    step_start,
+                    duration,
+                    "decode",
+                    batch,
+                    0,
+                    0,
+                    batch,
+                    kv_blocks,
+                    kv_bytes,
+                    num_waiting,
+                    joules,
+                )
+            )
+            starts.append(step_start)
+            ends.append(step_end)
+            overlap = step_end - step_start
+            if overlap > 0:
+                breakdown_decode += overlap
+                kv_time += overlap
+                kv_weighted += kv_bytes * overlap
+                if kv_bytes > kv_max:
+                    kv_max = kv_bytes
+            if index < last:
+                grown = alloc_plan.get(index)
+                if grown:
+                    for pos in grown:
+                        append_kv(decodes[pos], now=step_end)
+                    kv_blocks += len(grown)
+            step_start = step_end
+        self._full_breakdown["decode"] = breakdown_decode
+        self._full_kv_time = kv_time
+        self._full_kv_weighted = kv_weighted
+        self._full_kv_max = kv_max
+
+    def _plan_decode_chunk(
+        self,
+        start: float,
+        first_duration: float,
+        context_lengths: List[int],
+        decodes: List[LLMRequest],
+        k_limit: int,
+    ) -> Tuple[List[float], Dict[int, List[int]]]:
+        """Durations of the longest provably-unobservable run of decode steps.
+
+        Extends the chunk one virtual step at a time while (a) every wake
+        time stays strictly before the next pending external event, so no
+        other process can observe engine state mid-chunk, (b) the final wake
+        stays within the active numeric run horizon, so a paused run never
+        leaves the chunk half-applied, and (c) the KV block allocations the
+        per-token path would perform at each intermediate boundary all fit in
+        the free pool, so no step would have preempted.
+
+        Returns the durations plus the allocation plan: replay loop index ->
+        positions (into ``decodes``, ascending) of the sequences whose block
+        table must grow at that step boundary.
+        """
+        peek = self.env.peek()
+        horizon = self.env.run_horizon
+        block_size = self.kv_cache.block_size
+        free_budget = self.kv_cache.num_free_blocks()
+        decode_step_time = self.perf.decode_step_time
+        allocated = 0
+        # Min-heap of (due_step, position, room) per sequence: the boundary
+        # append of step j allocates a block exactly when j > room (room =
+        # how many tokens the block table covers beyond the current context;
+        # this step's reservation already ran in the scheduler).  Each
+        # allocation raises room by block_size, so a healthy sequence falls
+        # due every block_size steps -- but a sequence re-admitted after
+        # recompute preemption is allocated blocks for its prompt only and
+        # re-grows its table one block per step (room <= 0) until it catches
+        # up, which this cadence reproduces exactly.
+        due: List[Tuple[int, int, int]] = []
+        for pos, request in enumerate(decodes):
+            room = len(request.block_ids) * block_size - request.context_length
+            due.append((max(2, room + 1), pos, room))
+        heapq.heapify(due)
+        alloc_plan: Dict[int, List[int]] = {}
+        durations = [first_duration]
+        lengths = list(context_lengths)
+        end = start + first_duration
+        single = len(lengths) == 1
+        if single:
+            # Inline the scalar decode roofline (PerformanceModel
+            # .decode_step_time's batch-of-one branch, same expressions in the
+            # same order) so the per-virtual-step planning cost is arithmetic
+            # only.  The planner runs once per simulated token.
+            perf = self.perf
+            kv_per_token = perf._kv_bytes_per_token
+            weight_bytes = perf._weight_bytes
+            bandwidth = perf._decode_bandwidth
+            flops_dense = perf._flops_dense
+            flops_attn = perf._flops_attn_per_ctx
+            peak = perf._peak_compute
+            overhead = perf._step_overhead
+        while len(durations) < k_limit:
+            index = len(durations) + 1
+            if single:
+                ctx = lengths[0] + 1
+                lengths[0] = ctx
+                kv_bytes = kv_per_token * float(ctx)
+                memory_time = (weight_bytes + kv_bytes) / bandwidth
+                compute_time = (flops_dense + flops_attn * max(ctx, 0.0)) / peak
+                next_duration = max(memory_time, compute_time) + overhead
+            else:
+                for pos in range(len(lengths)):
+                    lengths[pos] += 1
+                next_duration = decode_step_time(lengths)
+            next_end = end + next_duration
+            if next_end >= peek or next_end > horizon:
+                break
+            growers: List[int] = []
+            while due and due[0][0] == index:
+                _, pos, room = heapq.heappop(due)
+                growers.append(pos)
+                room += block_size
+                heapq.heappush(due, (max(index + 1, room + 1), pos, room))
+            if growers:
+                if allocated + len(growers) > free_budget:
+                    break
+                allocated += len(growers)
+                growers.sort()
+                # The per-token path reserves before executing step ``index``,
+                # which the replay loop reaches at the end of iteration
+                # ``index - 2`` (its appends prepare the following step).
+                alloc_plan[index - 2] = growers
+            durations.append(next_duration)
+            end = next_end
+        return durations, alloc_plan
 
     # -- helpers -------------------------------------------------------------
     def _append_output_token(self, request: LLMRequest) -> None:
         position = request.num_output_tokens
         token = self.tokenizer.synthetic_tokens(
-            f"output:{request.request_id}", position + 1
-        )[position]
+            f"output:{request.request_id}", position + 1, start=position
+        )[0]
         request.output_token_ids.append(token)
 
     def _finish_completed(self, requests: List[LLMRequest]) -> None:
@@ -275,7 +532,11 @@ class LLMEngine:
         generated_tokens: int,
         energy_joules: float,
     ) -> None:
-        kv_bytes_active = self.kv_cache.active_bytes()
+        allocator = self.kv_cache.allocator
+        kv_blocks_active = allocator.num_active_blocks
+        # Same arithmetic as allocator.active_bytes, without re-deriving the
+        # active-block count (this runs once per simulated step).
+        kv_bytes_active = kv_blocks_active * allocator.config.bytes_per_block
         self.step_records.append(
             EngineStepRecord(
                 start=start,
@@ -285,7 +546,7 @@ class LLMEngine:
                 new_tokens=new_tokens,
                 cached_tokens=cached_tokens,
                 generated_tokens=generated_tokens,
-                kv_blocks_active=self.kv_cache.active_blocks(),
+                kv_blocks_active=kv_blocks_active,
                 kv_bytes_active=kv_bytes_active,
                 num_waiting=self.scheduler.num_waiting,
                 energy_joules=energy_joules,

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, Iterable, List, Optional
 
 from repro.llm.hardware import ClusterSpec
 from repro.llm.models import ModelSpec
@@ -44,7 +44,7 @@ class KVCacheConfig:
         )
 
 
-@dataclass
+@dataclass(slots=True)
 class Block:
     """One KV-cache block."""
 
@@ -65,8 +65,15 @@ class BlockAllocator:
         if config.num_blocks <= 0:
             raise ValueError("KV cache must have at least one block")
         self.config = config
-        self.blocks: List[Block] = [Block(block_id=i) for i in range(config.num_blocks)]
-        self._free: List[int] = list(range(config.num_blocks))
+        # Block records and the fresh-id pool materialize lazily: a cluster
+        # holds hundreds of thousands of blocks and most runs touch a small
+        # fraction, so eagerly building both lists dominates engine setup.
+        # ``_free`` holds only *released* ids; untouched ids are handed out
+        # from ``_next_fresh`` downward, exactly the order the historical
+        # eager free list (``list(range(n)).pop()``) produced.
+        self.blocks: Dict[int, Block] = {}
+        self._free: List[int] = []
+        self._next_fresh: int = config.num_blocks - 1
         # Evictable cached blocks in LRU order (block_id -> None).
         self._evictable: "OrderedDict[int, None]" = OrderedDict()
         # content hash -> block id for cached (evictable or referenced) blocks.
@@ -81,7 +88,7 @@ class BlockAllocator:
     @property
     def num_free_blocks(self) -> int:
         """Blocks available for new allocations (never-used + evictable)."""
-        return len(self._free) + len(self._evictable)
+        return len(self._free) + self._next_fresh + 1 + len(self._evictable)
 
     @property
     def num_active_blocks(self) -> int:
@@ -108,18 +115,28 @@ class BlockAllocator:
         for _ in range(n_blocks):
             if self._free:
                 block_id = self._free.pop()
+            elif self._next_fresh >= 0:
+                block_id = self._next_fresh
+                self._next_fresh -= 1
             else:
                 block_id, _ = self._evictable.popitem(last=False)  # LRU
                 self._evict(block_id)
-            block = self.blocks[block_id]
+            block = self._block(block_id)
             block.ref_count = 1
             block.content_hash = None
             block.last_used = now
             allocated.append(block_id)
         return allocated
 
+    def _block(self, block_id: int) -> Block:
+        block = self.blocks.get(block_id)
+        if block is None:
+            block = Block(block_id=block_id)
+            self.blocks[block_id] = block
+        return block
+
     def _evict(self, block_id: int) -> None:
-        block = self.blocks[block_id]
+        block = self._block(block_id)
         if block.content_hash is not None:
             self.hash_to_block.pop(block.content_hash, None)
             block.content_hash = None
@@ -128,7 +145,7 @@ class BlockAllocator:
     # -- reference counting -----------------------------------------------------
     def acquire(self, block_id: int, now: float = 0.0) -> None:
         """Take an additional reference on a (possibly evictable) cached block."""
-        block = self.blocks[block_id]
+        block = self._block(block_id)
         if block.ref_count == 0:
             self._evictable.pop(block_id, None)
         block.ref_count += 1
@@ -136,7 +153,7 @@ class BlockAllocator:
 
     def release(self, block_id: int, now: float = 0.0) -> None:
         """Drop a reference; unreferenced blocks become evictable or free."""
-        block = self.blocks[block_id]
+        block = self._block(block_id)
         if block.ref_count <= 0:
             raise ValueError(f"release of unreferenced block {block_id}")
         block.ref_count -= 1
@@ -149,12 +166,75 @@ class BlockAllocator:
                 block.content_hash = None
                 self._free.append(block_id)
 
+    def acquire_many(self, block_ids: "Iterable[int]", now: float = 0.0) -> None:
+        """:meth:`acquire` for a run of blocks, resolving shared state once.
+
+        Sequence setup and teardown touch every block of a request (often
+        hundreds), so these batch variants inline the per-block logic with
+        the instance dicts bound to locals.  Each performs the identical
+        state transitions in the identical order to calling the scalar
+        method per block.
+        """
+        blocks = self.blocks
+        evictable = self._evictable
+        for block_id in block_ids:
+            block = blocks.get(block_id)
+            if block is None:
+                block = Block(block_id=block_id)
+                blocks[block_id] = block
+            if block.ref_count == 0:
+                evictable.pop(block_id, None)
+            block.ref_count += 1
+            block.last_used = now
+
+    def release_many(self, block_ids: "Iterable[int]", now: float = 0.0) -> None:
+        """:meth:`release` for a run of blocks (see :meth:`acquire_many`)."""
+        blocks = self.blocks
+        evictable = self._evictable
+        free = self._free
+        caching = self.config.enable_prefix_caching
+        for block_id in block_ids:
+            block = blocks.get(block_id)
+            if block is None:
+                block = Block(block_id=block_id)
+                blocks[block_id] = block
+            if block.ref_count <= 0:
+                raise ValueError(f"release of unreferenced block {block_id}")
+            block.ref_count -= 1
+            block.last_used = now
+            if block.ref_count == 0:
+                if block.content_hash is not None and caching:
+                    evictable[block_id] = None
+                    evictable.move_to_end(block_id)
+                else:
+                    block.content_hash = None
+                    free.append(block_id)
+
+    def register_hashes(
+        self, pairs: "Iterable[tuple[int, int]]"
+    ) -> None:
+        """:meth:`register_hash` for ``(block_id, content_hash)`` pairs."""
+        if not self.config.enable_prefix_caching:
+            return
+        blocks = self.blocks
+        hash_to_block = self.hash_to_block
+        for block_id, content_hash in pairs:
+            block = blocks.get(block_id)
+            if block is None:
+                block = Block(block_id=block_id)
+                blocks[block_id] = block
+            existing = hash_to_block.get(content_hash)
+            if existing is not None and existing != block_id:
+                continue
+            block.content_hash = content_hash
+            hash_to_block[content_hash] = block_id
+
     # -- prefix-cache integration -----------------------------------------------
     def register_hash(self, block_id: int, content_hash: int) -> None:
         """Record that ``block_id`` holds the KV state for ``content_hash``."""
         if not self.config.enable_prefix_caching:
             return
-        block = self.blocks[block_id]
+        block = self._block(block_id)
         existing = self.hash_to_block.get(content_hash)
         if existing is not None and existing != block_id:
             # Another block already caches this content; keep the existing one.
@@ -167,7 +247,8 @@ class BlockAllocator:
 
     # -- introspection -----------------------------------------------------------
     def ref_count(self, block_id: int) -> int:
-        return self.blocks[block_id].ref_count
+        block = self.blocks.get(block_id)
+        return block.ref_count if block is not None else 0
 
     def cached_block_count(self) -> int:
         return len(self.hash_to_block)

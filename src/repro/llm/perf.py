@@ -15,6 +15,7 @@ transformer serving that the model reproduces:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 from typing import Sequence
 
 from repro.llm.hardware import ClusterSpec
@@ -27,6 +28,41 @@ class PerformanceModel:
 
     model: ModelSpec
     cluster: ClusterSpec
+
+    # Decode runs once per simulated token, so the hardware-derived constants
+    # of its roofline expression are evaluated once.  Each is the exact
+    # subexpression the formulas below historically computed inline, so the
+    # resulting floats are bit-identical.
+    @cached_property
+    def _decode_bandwidth(self) -> float:
+        return self.cluster.total_mem_bandwidth * self.cluster.gpu.mbu_decode
+
+    @cached_property
+    def _peak_compute(self) -> float:
+        return self.cluster.total_peak_flops * self.cluster.gpu.mfu_prefill
+
+    @cached_property
+    def _step_overhead(self) -> float:
+        return self.cluster.step_overhead
+
+    @cached_property
+    def _weight_bytes(self) -> float:
+        return self.model.weight_bytes
+
+    @cached_property
+    def _kv_bytes_per_token(self) -> float:
+        return self.model.kv_bytes_per_token
+
+    @cached_property
+    def _flops_dense(self) -> float:
+        # ModelSpec.flops_per_token's dense term.
+        return 2.0 * self.model.n_params
+
+    @cached_property
+    def _flops_attn_per_ctx(self) -> float:
+        # ModelSpec.flops_per_token's attention coefficient; multiplying it by
+        # the context length reproduces the original left-to-right product.
+        return 4.0 * self.model.n_layers * self.model.hidden_size
 
     # -- prefill ----------------------------------------------------------
     def prefill_time(
@@ -41,16 +77,12 @@ class PerformanceModel:
         compute.
         """
         if new_tokens <= 0:
-            return self.cluster.step_overhead
+            return self._step_overhead
         flops = self.model.prefill_flops(new_tokens, cached_tokens)
-        compute_time = flops / (
-            self.cluster.total_peak_flops * self.cluster.gpu.mfu_prefill
-        )
+        compute_time = flops / self._peak_compute
         # Weights still have to be streamed once per step.
-        weight_time = self.model.weight_bytes / (
-            self.cluster.total_mem_bandwidth * self.cluster.gpu.mbu_decode
-        )
-        return max(compute_time, weight_time) + self.cluster.step_overhead
+        weight_time = self._weight_bytes / self._decode_bandwidth
+        return max(compute_time, weight_time) + self._step_overhead
 
     # -- decode -----------------------------------------------------------
     def decode_step_time(self, context_lengths: Sequence[int]) -> float:
@@ -62,17 +94,25 @@ class PerformanceModel:
         batch_size = len(context_lengths)
         if batch_size == 0:
             return 0.0
-        weight_bytes = self.model.weight_bytes
-        kv_bytes = self.model.kv_bytes_per_token * float(sum(context_lengths))
-        memory_time = (weight_bytes + kv_bytes) / (
-            self.cluster.total_mem_bandwidth * self.cluster.gpu.mbu_decode
-        )
+        if batch_size == 1:
+            # Scalar fast path: sum() over one element is exact, so this is
+            # the general expression below evaluated bit-identically.
+            ctx = context_lengths[0]
+            kv_bytes = self._kv_bytes_per_token * float(ctx)
+            memory_time = (self._weight_bytes + kv_bytes) / self._decode_bandwidth
+            flops = self._flops_dense + self._flops_attn_per_ctx * max(ctx, 0.0)
+            compute_time = flops / self._peak_compute
+            return max(memory_time, compute_time) + self._step_overhead
+        kv_bytes = self._kv_bytes_per_token * float(sum(context_lengths))
+        memory_time = (self._weight_bytes + kv_bytes) / self._decode_bandwidth
         # Dense FLOPs for the batch; only matters for very large batches.
-        flops = sum(self.model.flops_per_token(ctx) for ctx in context_lengths)
-        compute_time = flops / (
-            self.cluster.total_peak_flops * self.cluster.gpu.mfu_prefill
-        )
-        return max(memory_time, compute_time) + self.cluster.step_overhead
+        # Same per-element expression and summation order as calling
+        # ModelSpec.flops_per_token per sequence.
+        dense = self._flops_dense
+        attn = self._flops_attn_per_ctx
+        flops = sum(dense + attn * max(ctx, 0.0) for ctx in context_lengths)
+        compute_time = flops / self._peak_compute
+        return max(memory_time, compute_time) + self._step_overhead
 
     # -- convenience ------------------------------------------------------
     def generation_time(

@@ -54,13 +54,18 @@ class PrefixCache:
     def enabled(self) -> bool:
         return self.config.enable_prefix_caching
 
-    def peek_cached_tokens(self, token_ids: Sequence[int]) -> int:
+    def peek_cached_tokens(
+        self, token_ids: Sequence[int], hashes: Optional[Sequence[int]] = None
+    ) -> int:
         """Number of prompt tokens that would hit the cache (no side effects)."""
         if not self.enabled:
             return 0
+        if hashes is None:
+            hashes = block_hashes(token_ids, self.block_size)
         hits = 0
-        for content_hash in block_hashes(token_ids, self.block_size):
-            if self.allocator.lookup_hash(content_hash) is None:
+        lookup = self.allocator.hash_to_block.get
+        for content_hash in hashes:
+            if lookup(content_hash) is None:
                 break
             hits += 1
         return hits * self.block_size
@@ -68,7 +73,10 @@ class PrefixCache:
     def blocks_needed(self, request: LLMRequest) -> int:
         """Blocks a prefill allocation would need for ``request`` right now."""
         total_tokens = request.num_prompt_tokens
-        cached_tokens = self.peek_cached_tokens(request.prompt_token_ids)
+        cached_tokens = self.peek_cached_tokens(
+            request.prompt_token_ids,
+            hashes=request.prompt_block_hashes(self.block_size),
+        )
         cached_blocks = cached_tokens // self.block_size
         total_blocks = -(-total_tokens // self.block_size)  # ceil
         return total_blocks - cached_blocks
@@ -101,12 +109,12 @@ class PrefixCache:
         if request.request_id in self._allocations:
             raise ValueError(f"request {request.request_id} already allocated")
 
-        token_ids = request.prompt_token_ids
-        hashes = block_hashes(token_ids, self.block_size)
+        hashes = request.prompt_block_hashes(self.block_size)
         cached_block_ids: List[int] = []
         if self.enabled:
+            lookup = self.allocator.hash_to_block.get
             for content_hash in hashes:
-                block_id = self.allocator.lookup_hash(content_hash)
+                block_id = lookup(content_hash)
                 if block_id is None:
                     break
                 cached_block_ids.append(block_id)
@@ -119,11 +127,20 @@ class PrefixCache:
 
         total_blocks = -(-request.num_prompt_tokens // self.block_size)
         fresh_needed = total_blocks - len(cached_block_ids)
-        if not self.allocator.can_allocate(fresh_needed):
+        # Acquiring an evictable cached block removes it from the free pool,
+        # so those acquisitions count against the fresh allocation too --
+        # otherwise a tightly-packed cache passes the check here and blows up
+        # inside ``allocate`` below.
+        blocks = self.allocator.blocks
+        evictable_cached = sum(
+            1
+            for block_id in cached_block_ids
+            if (block := blocks.get(block_id)) is None or block.ref_count == 0
+        )
+        if not self.allocator.can_allocate(fresh_needed + evictable_cached):
             return None
 
-        for block_id in cached_block_ids:
-            self.allocator.acquire(block_id, now=now)
+        self.allocator.acquire_many(cached_block_ids, now=now)
         fresh_ids = self.allocator.allocate(fresh_needed, now=now)
 
         block_ids = list(cached_block_ids) + fresh_ids
@@ -139,8 +156,10 @@ class PrefixCache:
         # requests (and later iterations of the same agent) can reuse them.
         if self.enabled:
             full_prompt_blocks = request.num_prompt_tokens // self.block_size
-            for index in range(len(cached_block_ids), full_prompt_blocks):
-                self.allocator.register_hash(block_ids[index], hashes[index])
+            start = len(cached_block_ids)
+            self.allocator.register_hashes(
+                zip(block_ids[start:full_prompt_blocks], hashes[start:full_prompt_blocks])
+            )
 
         request.block_ids = block_ids
         request.num_cached_tokens = num_cached_tokens
@@ -165,6 +184,28 @@ class PrefixCache:
         request.block_ids = allocation.block_ids
         return True
 
+    def reserve_tokens(self, request: LLMRequest, num_tokens: int, now: float = 0.0) -> bool:
+        """Reserve KV space for ``num_tokens`` upcoming tokens in one call.
+
+        Used by the engine's approximate decode chunking, which grows the
+        context by a whole chunk in one simulated step.  Allocates every
+        block the grown context needs (not just one), so block accounting
+        stays exact; returns ``False`` without allocating anything when the
+        free pool cannot cover the growth.
+        """
+        allocation = self._allocations.get(request.request_id)
+        if allocation is None:
+            raise KeyError(f"request {request.request_id} has no allocation")
+        target_blocks = -(-(request.context_length + num_tokens) // self.block_size)
+        extra = target_blocks - len(allocation.block_ids)
+        if extra <= 0:
+            return True
+        if not self.allocator.can_allocate(extra):
+            return False
+        allocation.block_ids.extend(self.allocator.allocate(extra, now=now))
+        request.block_ids = allocation.block_ids
+        return True
+
     # -- teardown -----------------------------------------------------------
     def free_sequence(self, request: LLMRequest, now: float = 0.0) -> None:
         """Release the request's blocks, caching full blocks of its context."""
@@ -175,12 +216,14 @@ class PrefixCache:
             # Cache every full block of prompt + generated tokens so the next
             # LLM call of this agent (whose prompt extends this context) hits.
             all_tokens = request.all_token_ids()
-            hashes = block_hashes(all_tokens, self.block_size)
-            for index, content_hash in enumerate(hashes):
-                if index < len(allocation.block_ids):
-                    self.allocator.register_hash(allocation.block_ids[index], content_hash)
-        for block_id in allocation.block_ids:
-            self.allocator.release(block_id, now=now)
+            # Resume the hash chain after the request's memoized prompt
+            # hashes: prompt + output shares its full-block prompt prefix.
+            hashes = block_hashes(
+                all_tokens, self.block_size,
+                prefix_hashes=request.prompt_block_hashes(self.block_size),
+            )
+            self.allocator.register_hashes(zip(allocation.block_ids, hashes))
+        self.allocator.release_many(allocation.block_ids, now=now)
         request.block_ids = []
 
     def release_for_preemption(self, request: LLMRequest, now: float = 0.0) -> None:

@@ -7,9 +7,23 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Any, Dict, List, Optional, Tuple
 
-from repro.llm.tokenizer import Prompt, SegmentKind, TokenSpan
+from repro.llm.tokenizer import Prompt, SegmentKind, TokenSpan, block_hashes
 
 _request_counter = itertools.count()
+
+
+def reset_request_ids() -> None:
+    """Restart request-id numbering from zero.
+
+    Request ids are drawn from a process-global counter, so two otherwise
+    identical experiments run in the same process would number their
+    requests differently.  ``run_experiment`` resets the counter at the
+    start of every experiment so results are reproducible regardless of
+    process history -- which is also what makes process-parallel study
+    execution bit-for-bit identical to serial execution.
+    """
+    global _request_counter
+    _request_counter = itertools.count()
 
 
 class RequestState(str, Enum):
@@ -18,7 +32,7 @@ class RequestState(str, Enum):
     FINISHED = "finished"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SamplingParams:
     """Generation parameters.
 
@@ -36,7 +50,7 @@ class SamplingParams:
         return max(1, min(self.output_tokens, self.max_tokens))
 
 
-@dataclass
+@dataclass(slots=True)
 class RequestTimings:
     """Timestamps and accumulated durations for one LLM request."""
 
@@ -63,6 +77,21 @@ class RequestTimings:
 class LLMRequest:
     """A single LLM inference call tracked by the engine."""
 
+    __slots__ = (
+        "request_id",
+        "prompt",
+        "prompt_token_ids",
+        "sampling",
+        "metadata",
+        "state",
+        "timings",
+        "output_token_ids",
+        "num_cached_tokens",
+        "block_ids",
+        "completion_event",
+        "_prompt_hashes",
+    )
+
     def __init__(
         self,
         prompt: Prompt,
@@ -82,6 +111,10 @@ class LLMRequest:
         self.num_cached_tokens: int = 0
         self.block_ids: List[int] = []
         self.completion_event: Any = None  # set by the client/engine
+        # Memoized chained block hashes of the (immutable) prompt, keyed by
+        # block size.  The scheduler re-hashes waiting prompts on every
+        # admission attempt otherwise, which dominates contended runs.
+        self._prompt_hashes: Optional[Tuple[int, List[int]]] = None
 
     # -- sizes --------------------------------------------------------------
     @property
@@ -110,6 +143,15 @@ class LLMRequest:
 
     def all_token_ids(self) -> Tuple[int, ...]:
         return self.prompt_token_ids + tuple(self.output_token_ids)
+
+    def prompt_block_hashes(self, block_size: int) -> List[int]:
+        """Chained block hashes of the prompt, computed once per request."""
+        cached = self._prompt_hashes
+        if cached is not None and cached[0] == block_size:
+            return cached[1]
+        hashes = block_hashes(self.prompt_token_ids, block_size)
+        self._prompt_hashes = (block_size, hashes)
+        return hashes
 
     def to_result(self) -> "LLMResult":
         counts = self.prompt.count_by_kind()

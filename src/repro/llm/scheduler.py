@@ -65,6 +65,16 @@ class SchedulingPolicy:
 
     name = "base"
 
+    #: Whether :meth:`select_index` depends only on the waiting queue's
+    #: contents and the policy's own counters -- not on ``now``.  All built-in
+    #: policies are time-invariant; the engine's decode fast-forward relies on
+    #: this to know that a prefill attempt that failed for lack of KV blocks
+    #: would keep failing (and keep selecting the same candidate) at every
+    #: intermediate token boundary of a fast-forwarded chunk.  Custom policies
+    #: whose selection genuinely depends on wall-clock time must set this to
+    #: ``False`` to force per-token scheduling under contention.
+    time_invariant_select = True
+
     def select_index(self, waiting: Deque[LLMRequest], now: float) -> int:
         """Index (into ``waiting``) of the request to admit next.
 
@@ -249,7 +259,7 @@ def create_scheduler_policy(name: str) -> SchedulingPolicy:
     return SCHEDULER_POLICY_REGISTRY.create(name)
 
 
-@dataclass
+@dataclass(slots=True)
 class PrefillItem:
     """One request admitted in a prefill step."""
 
@@ -258,7 +268,7 @@ class PrefillItem:
     cached_tokens: int
 
 
-@dataclass
+@dataclass(slots=True)
 class ScheduledStep:
     """Work selected for the next engine step."""
 
@@ -329,7 +339,10 @@ class Scheduler:
                 break
             index = self.policy.select_index(self.waiting, now)
             request = self.waiting[index]
-            cached_estimate = self.kv_cache.peek_cached_tokens(request.prompt_token_ids)
+            cached_estimate = self.kv_cache.peek_cached_tokens(
+                request.prompt_token_ids,
+                hashes=request.prompt_block_hashes(self.kv_cache.block_size),
+            )
             new_tokens = max(1, request.num_prompt_tokens - cached_estimate)
             if prefills and new_tokens > token_budget:
                 break

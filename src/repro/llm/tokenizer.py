@@ -97,6 +97,12 @@ class SyntheticTokenizer:
             raise ValueError("vocab_size must be > 1")
         self.vocab_size = vocab_size
         self.tokens_per_word = tokens_per_word
+        # Both mappings are pure functions of their key (given the tokenizer
+        # config), so memoizing them is invisible except for speed: agent
+        # prompts re-encode the same instruction text and re-emit the same
+        # content streams on every LLM call of an episode.
+        self._word_cache: Dict[str, Tuple[int, ...]] = {}
+        self._stream_cache: Dict[str, Tuple[int, ...]] = {}
 
     def _hash_id(self, text: str, salt: int = 0) -> int:
         digest = hashlib.blake2b(
@@ -109,33 +115,55 @@ class SyntheticTokenizer:
         if not text:
             return ()
         ids: List[int] = []
+        cache = self._word_cache
         for word in text.split():
-            n_sub = max(1, round(len(word) * self.tokens_per_word / 5.0))
-            for sub in range(n_sub):
-                ids.append(self._hash_id(word, salt=sub))
+            cached = cache.get(word)
+            if cached is None:
+                n_sub = max(1, round(len(word) * self.tokens_per_word / 5.0))
+                cached = tuple(self._hash_id(word, salt=sub) for sub in range(n_sub))
+                cache[word] = cached
+            ids.extend(cached)
         return tuple(ids)
 
     def count(self, text: str) -> int:
         """Token count of ``text`` without materialising ids."""
         return len(self.encode(text))
 
-    def synthetic_tokens(self, stream: str, count: int) -> Tuple[int, ...]:
-        """``count`` deterministic token ids for a named content stream."""
-        if count <= 0:
+    def synthetic_tokens(self, stream: str, count: int, start: int = 0) -> Tuple[int, ...]:
+        """Deterministic token ids ``[start, count)`` of a named content stream.
+
+        Ids come in independent 8-id blocks -- one 32-byte digest of
+        ``"{stream}:{block_index}"`` each -- so a suffix can be produced
+        without materialising the prefix: ``synthetic_tokens(s, n, start=k)``
+        equals ``synthetic_tokens(s, n)[k:]`` by construction.  The engine's
+        decode replay uses this to extend a request's output stream in
+        amortised constant time per token.
+        """
+        if count <= start or count <= 0:
             return ()
-        ids: List[int] = []
-        block_index = 0
-        while len(ids) < count:
-            digest = hashlib.blake2b(
-                f"{stream}:{block_index}".encode("utf-8"), digest_size=32
-            ).digest()
-            for offset in range(0, len(digest), 4):
-                ids.append(
-                    int.from_bytes(digest[offset : offset + 4], "little")
-                    % self.vocab_size
-                )
-            block_index += 1
-        return tuple(ids[:count])
+        cached = self._stream_cache.get(stream, ())
+        if len(cached) < count:
+            # Grow the memoized stream by whole blocks (the cache length is
+            # always a multiple of 8, so the next digest index is exact).
+            vocab = self.vocab_size
+            ids = list(cached)
+            append = ids.append
+            block_index = len(ids) // 8
+            while len(ids) < count:
+                digest = hashlib.blake2b(
+                    f"{stream}:{block_index}".encode("utf-8"), digest_size=32
+                ).digest()
+                for offset in range(0, len(digest), 4):
+                    append(
+                        int.from_bytes(digest[offset : offset + 4], "little")
+                        % vocab
+                    )
+                block_index += 1
+            cached = tuple(ids)
+            self._stream_cache[stream] = cached
+        if start == 0 and count == len(cached):
+            return cached
+        return cached[start:count]
 
     def span(self, kind: SegmentKind, stream: str, count: int) -> TokenSpan:
         """Convenience constructor for a synthetic span."""
@@ -145,20 +173,35 @@ class SyntheticTokenizer:
         return TokenSpan(kind=kind, tokens=self.encode(text))
 
 
-def block_hashes(token_ids: Sequence[int], block_size: int) -> List[int]:
+def block_hashes(
+    token_ids: Sequence[int],
+    block_size: int,
+    prefix_hashes: Sequence[int] = (),
+) -> List[int]:
     """Chained hashes of full token blocks, as used by vLLM prefix caching.
 
     Block ``i``'s hash covers all tokens of blocks ``0..i``, so two sequences
     share hashes exactly for their common full-block prefix.
+
+    ``prefix_hashes`` optionally carries already-computed hashes for the
+    leading blocks of ``token_ids`` (e.g. a request's prompt hashes when
+    hashing prompt + generated tokens at free time); the chain resumes after
+    them instead of re-hashing the shared prefix.  Hashing is the dominant
+    cost of prefix-cache bookkeeping, so callers that see the same sequence
+    repeatedly should cache and pass these.
+
+    Like vLLM's original prefix-cache keys, the per-block hash is Python's
+    built-in tuple hash over (parent hash, block tokens).  For int tuples
+    this is deterministic across processes (PYTHONHASHSEED only perturbs
+    str/bytes), and cache hits only ever compare hashes of equal content,
+    so the choice of hash function does not affect hit patterns.
     """
-    hashes: List[int] = []
-    previous = 0
+    hashes: List[int] = list(prefix_hashes)
+    previous = hashes[-1] if hashes else 0
     full_blocks = len(token_ids) // block_size
-    for block_index in range(full_blocks):
-        chunk = tuple(token_ids[block_index * block_size : (block_index + 1) * block_size])
-        digest = hashlib.blake2b(
-            repr((previous, chunk)).encode("utf-8"), digest_size=8
-        ).digest()
-        previous = int.from_bytes(digest, "little")
+    for block_index in range(len(hashes), full_blocks):
+        previous = hash(
+            (previous, tuple(token_ids[block_index * block_size : (block_index + 1) * block_size]))
+        )
         hashes.append(previous)
     return hashes

@@ -45,14 +45,23 @@ class Event:
     An event starts *pending*; it can be triggered exactly once, either with
     :meth:`succeed` or :meth:`fail`.  Processes wait on events by yielding
     them.
+
+    Events are the hottest allocation in the simulator, so the class is
+    slotted and callback lists are recycled through the environment's pool
+    (a processed event hands its emptied list back; the next event reuses
+    it instead of allocating).
     """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_scheduled", "_defused")
 
     def __init__(self, env: "Environment"):
         self.env = env
-        self.callbacks: list[Callable[["Event"], None]] = []
+        pool = env._callback_pool
+        self.callbacks: list[Callable[["Event"], None]] = pool.pop() if pool else []
         self._value: Any = _PENDING
         self._ok: Optional[bool] = None
         self._scheduled = False
+        self._defused = False
 
     # -- state ------------------------------------------------------------
     @property
@@ -115,6 +124,8 @@ class Event:
 class Timeout(Event):
     """Event that fires automatically after ``delay`` simulated seconds."""
 
+    __slots__ = ("delay",)
+
     def __init__(self, env: "Environment", delay: float, value: Any = None):
         if delay < 0:
             raise SimulationError(f"negative timeout delay: {delay}")
@@ -125,14 +136,22 @@ class Timeout(Event):
         env._schedule(self, delay=delay)
 
 
-class Initialize(Event):
-    """Internal event used to start a freshly created process."""
+class _Start:
+    """Minimal one-shot stub that kicks off a freshly created process.
+
+    Replaces the old ``Initialize`` Event subclass on the hot path: it only
+    carries the five attributes :meth:`Environment.step` touches, with no
+    environment back-reference or pending-value machinery.
+    """
+
+    __slots__ = ("callbacks", "_ok", "_value", "_scheduled", "_defused")
 
     def __init__(self, env: "Environment", process: "Process"):
-        super().__init__(env)
+        self.callbacks = [process._resume]
         self._ok = True
         self._value = None
-        self.callbacks.append(process._resume)
+        self._scheduled = False
+        self._defused = False
         env._schedule(self)
 
 
@@ -144,13 +163,15 @@ class Process(Event):
     wait for each other simply by yielding them.
     """
 
+    __slots__ = ("_generator", "_target")
+
     def __init__(self, env: "Environment", generator: Generator):
         if not hasattr(generator, "send"):
             raise SimulationError("Process requires a generator")
         super().__init__(env)
         self._generator = generator
         self._target: Optional[Event] = None
-        Initialize(env, self)
+        _Start(env, self)
 
     @property
     def is_alive(self) -> bool:
@@ -163,7 +184,7 @@ class Process(Event):
         event = Event(self.env)
         event._ok = False
         event._value = Interrupt(cause)
-        event._defused = True  # type: ignore[attr-defined]
+        event._defused = True
         event.callbacks.append(self._resume)
         self.env._schedule(event, priority=0)
         # Detach from whatever the process was waiting on.
@@ -182,7 +203,7 @@ class Process(Event):
                 if event._ok:
                     next_event = self._generator.send(event._value)
                 else:
-                    event._defused = True  # type: ignore[attr-defined]
+                    event._defused = True
                     next_event = self._generator.throw(event._value)
             except StopIteration as exc:
                 self._ok = True
@@ -212,6 +233,8 @@ class Process(Event):
 class ConditionEvent(Event):
     """Base for AllOf/AnyOf composite events."""
 
+    __slots__ = ("_events", "_pending")
+
     def __init__(self, env: "Environment", events: Iterable[Event]):
         super().__init__(env)
         self._events = list(events)
@@ -239,7 +262,7 @@ class ConditionEvent(Event):
         if self.triggered:
             return
         if not event._ok:
-            event._defused = True  # type: ignore[attr-defined]
+            event._defused = True
             self.fail(event.value)
             return
         if self._satisfied():
@@ -249,12 +272,16 @@ class ConditionEvent(Event):
 class AllOf(ConditionEvent):
     """Fires when all child events have fired."""
 
+    __slots__ = ()
+
     def _satisfied(self) -> bool:
         return all(event.triggered and event.ok for event in self._events)
 
 
 class AnyOf(ConditionEvent):
     """Fires as soon as any child event has fired."""
+
+    __slots__ = ()
 
     def _satisfied(self) -> bool:
         return any(event.triggered and event.ok for event in self._events)
@@ -268,11 +295,29 @@ class Environment:
         self._queue: list[tuple[float, int, int, Event]] = []
         self._eid = itertools.count()
         self._active_process: Optional[Process] = None
+        self._events_processed = 0
+        self._callback_pool: list[list] = []
+        self._horizon = float("inf")
 
     @property
     def now(self) -> float:
         """Current simulated time in seconds."""
         return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Total events popped and executed by :meth:`step` so far."""
+        return self._events_processed
+
+    @property
+    def run_horizon(self) -> float:
+        """The numeric ``until`` of the active :meth:`run` call (``inf`` otherwise).
+
+        Lets cooperating components (e.g. the decode fast-forward planner)
+        avoid scheduling internal state changes past the point where the
+        caller will observe the simulation.
+        """
+        return self._horizon
 
     @property
     def active_process(self) -> Optional[Process]:
@@ -284,6 +329,23 @@ class Environment:
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         return Timeout(self, delay, value)
+
+    def timeout_at(self, when: float, value: Any = None) -> Event:
+        """Event that fires at absolute simulated time ``when``.
+
+        Equivalent to ``timeout(when - now)`` but schedules at the exact
+        absolute time, avoiding the float round-trip of ``now + (when - now)``
+        — required when a precomputed sequence of absolute times must be
+        reproduced bit-for-bit.
+        """
+        if when < self._now:
+            raise SimulationError(f"timeout_at lies in the past: {when} < {self._now}")
+        event = Event(self)
+        event._ok = True
+        event._value = value
+        event._scheduled = True
+        heapq.heappush(self._queue, (when, 1, next(self._eid), event))
+        return event
 
     def process(self, generator: Generator) -> Process:
         return Process(self, generator)
@@ -317,10 +379,13 @@ class Environment:
             raise SimulationError("no scheduled events")
         when, _priority, _eid, event = heapq.heappop(self._queue)
         self._now = when
+        self._events_processed += 1
         callbacks, event.callbacks = event.callbacks, None  # type: ignore[assignment]
         for callback in callbacks:
             callback(event)
-        if not event._ok and not getattr(event, "_defused", False):
+        callbacks.clear()
+        self._callback_pool.append(callbacks)
+        if not event._ok and not event._defused:
             raise event._value
 
     def run(self, until: Any = None) -> Any:
@@ -339,13 +404,18 @@ class Environment:
             if stop_time < self._now:
                 raise SimulationError("until lies in the past")
 
-        while self._queue:
-            if stop_event is not None and stop_event.processed:
-                break
-            if self.peek() > stop_time:
-                self._now = stop_time
-                return None
-            self.step()
+        prev_horizon = self._horizon
+        self._horizon = stop_time
+        try:
+            while self._queue:
+                if stop_event is not None and stop_event.processed:
+                    break
+                if self.peek() > stop_time:
+                    self._now = stop_time
+                    return None
+                self.step()
+        finally:
+            self._horizon = prev_horizon
 
         if stop_event is not None:
             if not stop_event.triggered:
@@ -353,6 +423,8 @@ class Environment:
             if not stop_event.ok:
                 raise stop_event.value
             return stop_event.value
-        if until is not None and not isinstance(until, Event):
-            self._now = max(self._now, stop_time) if self._queue == [] else self._now
+        if stop_time != float("inf"):
+            # The queue drained before the numeric horizon: the caller asked
+            # for time ``until``, so the clock lands exactly there.
+            self._now = stop_time
         return None

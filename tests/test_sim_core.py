@@ -322,3 +322,34 @@ class TestRunUntil:
         env.process(proc())
         with pytest.raises(SimulationError):
             env.run(until=event)
+
+    def test_queue_drains_before_numeric_until_lands_clock_on_until(self, env):
+        def proc():
+            yield env.timeout(1.0)
+
+        env.process(proc())
+        env.run(until=7.25)
+        # The last event fires at t=1.0; the caller asked for t=7.25, so the
+        # clock must land exactly there (not on the last event time).
+        assert env.now == 7.25
+
+    def test_drained_until_is_exact_and_resumable(self, env):
+        env.run(until=2.5)
+        assert env.now == 2.5
+        # A later run from the drained state starts from the advanced clock.
+        def proc():
+            yield env.timeout(1.0)
+
+        env.process(proc())
+        env.run()
+        assert env.now == 3.5
+
+    def test_events_processed_counts_every_step(self, env):
+        def proc():
+            for _ in range(5):
+                yield env.timeout(1.0)
+
+        env.process(proc())
+        env.run()
+        # Process start event, five timeouts, and the process-end event.
+        assert env.events_processed == 7

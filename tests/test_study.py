@@ -371,6 +371,49 @@ class TestRunStudy:
         run_study(study, progress=seen.append)
         assert [point.coords["qps"] for point in seen] == [1.0, 2.0]
 
+    def test_parallel_matches_serial_byte_for_byte(self):
+        # Grid of 2 axes x 2 values with 2 seeds = 8 points, executed both
+        # in-process and across a 4-worker process pool.  Everything the
+        # study produces must be identical: point order, full outcomes,
+        # tabulation rows, and the Pareto frontier (whose points embed the
+        # complete per-point ResultSet, so this is a deep equality).
+        study = StudySpec(
+            base=tiny_spec(),
+            axes=(
+                StudyAxis(name="qps", values=(1.0, 2.0)),
+                StudyAxis(name="scheduler", values=("fcfs", "vtc")),
+            ),
+            seeds=(0, 7),
+        )
+        serial = run_study(study, parallel=1)
+        parallel = run_study(study, parallel=4)
+
+        assert [p.coords for p in serial.points] == [p.coords for p in parallel.points]
+        assert [p.seed for p in serial.points] == [p.seed for p in parallel.points]
+        for a, b in zip(serial.points, parallel.points):
+            assert a.outcome.latencies == b.outcome.latencies
+            assert a.outcome.energy_wh == b.outcome.energy_wh
+            assert a == b
+        assert serial.tabulate() == parallel.tabulate()
+        assert serial.pareto_frontier(
+            cost="replica_seconds", quality="p95_latency"
+        ) == parallel.pareto_frontier(cost="replica_seconds", quality="p95_latency")
+
+    def test_parallel_progress_preserves_tabulation_order(self):
+        seen = []
+        study = StudySpec(
+            base=tiny_spec(), axes=(StudyAxis(name="qps", values=(1.0, 2.0)),)
+        )
+        run_study(study, progress=seen.append, parallel=2)
+        assert [point.coords["qps"] for point in seen] == [1.0, 2.0]
+
+    def test_parallel_rejects_nonpositive_workers(self):
+        study = StudySpec(
+            base=tiny_spec(), axes=(StudyAxis(name="qps", values=(1.0,)),)
+        )
+        with pytest.raises(ValueError, match="parallel"):
+            run_study(study, parallel=0)
+
     def test_result_set_metric_uses_study_vocabulary(self):
         outcome = run_experiment(tiny_spec())
         assert outcome.metric("replica_seconds") == outcome.replica_seconds
