@@ -32,7 +32,7 @@ Run with::
 
 from __future__ import annotations
 
-from repro.analysis import fairness_study
+from repro.analysis import fairness_study, predictor_error_study
 
 
 def main() -> None:
@@ -56,6 +56,19 @@ def main() -> None:
         print(
             "vtc sits on the frontier: per-tenant token accounting buys "
             "fairness without paying for it in chat SLO attainment"
+        )
+
+    print()
+    noise = predictor_error_study()
+    print(noise.format())
+    for error in ("0", "1", "2"):
+        print(f"predictor noise sigma={error}: sjf advantage {noise.sjf_advantage(error):+.1%}")
+    collapse = noise.collapse_error()
+    if collapse is not None:
+        print(
+            f"sjf-by-predicted-decode's mean-latency win over fcfs collapses "
+            f"at predictor noise sigma={collapse}: beyond that the 'shortest' "
+            f"pick is effectively random"
         )
 
 

@@ -24,7 +24,7 @@ from typing import Any, Dict, List, Optional, Tuple
 from repro.agents.config import AgentCapabilities, AgentConfig
 from repro.llm.client import LLMClient
 from repro.llm.request import LLMResult
-from repro.llm.tokenizer import Prompt, SegmentKind, SyntheticTokenizer
+from repro.llm.tokenizer import Prompt, SegmentKind, SyntheticTokenizer, TokenSpan
 from repro.oracle.behavior import TaskOracle, make_oracle
 from repro.oracle.calibration import (
     get_agent_profile,
@@ -127,6 +127,17 @@ class BaseAgent:
         # Extra key/values stamped onto every LLM request this agent issues
         # (e.g. the traffic class a pool-aware cluster routes on).
         self.request_metadata: Dict[str, Any] = {}
+        # Multi-turn session support (set by the serving driver between
+        # turns; empty = the single-shot default).  ``context_prefix`` is the
+        # accumulated conversation (previous turns' prompt + output spans) the
+        # next prompt must start with, token for token, so the prefix cache
+        # hits on the replica that served the previous turn; ``followup_span``
+        # replaces the task's first-turn user span on later turns.
+        self.context_prefix: List[TokenSpan] = []
+        self.followup_span: Optional[TokenSpan] = None
+        # Prompt spans of the most recent LLM call (the conversation state the
+        # driver extends with the call's output span to build the next turn).
+        self.last_prompt_spans: List[TokenSpan] = []
 
         self.profile = get_agent_profile(self.name)
         self.benchmark_profile = workload.profile
@@ -147,8 +158,19 @@ class BaseAgent:
         (benchmark, agent, example index), so every request of the same agent
         on the same benchmark shares them -- this is the cross-request prefix
         the serving-level prefix cache exploits.
+
+        On a session turn after the first (``context_prefix`` set), the prompt
+        is instead the accumulated conversation followed by the follow-up user
+        span: instruction and few-shot content is already inside the context,
+        and prepending anything else would break the exact token-prefix match
+        the cross-turn cache hit depends on.
         """
         prompt = Prompt()
+        if self.context_prefix:
+            prompt.extend(self.context_prefix)
+            if self.followup_span is not None:
+                prompt.append(self.followup_span)
+            return prompt
         prompt.append(
             self.tokenizer.span(
                 SegmentKind.INSTRUCTION,
@@ -202,6 +224,7 @@ class BaseAgent:
         """Issue one LLM call and record it (``yield from`` inside run())."""
         tokens = output_tokens if output_tokens is not None else oracle.sample_output_tokens(role)
         tokens = min(tokens, self.config.max_output_tokens)
+        self.last_prompt_spans = list(prompt.spans)
         result = yield self.client.generate(
             prompt.copy(),
             output_tokens=tokens,

@@ -24,9 +24,17 @@ class ChatbotAgent(BaseAgent):
         oracle = self.make_oracle(task)
 
         prompt = Prompt()
-        prompt.append(
-            self.tokenizer.span(SegmentKind.USER, f"user:{task.task_id}", task.user_tokens)
-        )
+        if self.context_prefix:
+            # Later session turn: the prompt is the accumulated conversation
+            # followed by the fresh follow-up user span, so its token prefix
+            # matches the previous turn's cached blocks exactly.
+            prompt.extend(self.context_prefix)
+            if self.followup_span is not None:
+                prompt.append(self.followup_span)
+        else:
+            prompt.append(
+                self.tokenizer.span(SegmentKind.USER, f"user:{task.task_id}", task.user_tokens)
+            )
         output_tokens = int(task.metadata.get("output_tokens", 0)) or None
         yield from self.llm_call(trace, prompt, "answer", oracle, output_tokens=output_tokens)
         trace.iterations = 1

@@ -11,7 +11,9 @@ from repro.analysis.burst_profiles import (
 )
 from repro.analysis.fairness import (
     FairnessStudyResult,
+    PredictorErrorStudyResult,
     fairness_study,
+    predictor_error_study,
 )
 from repro.analysis.fleet_sizing import (
     FleetSizingResult,
@@ -22,6 +24,10 @@ from repro.analysis.predictive_scaling import (
     predictive_scaling_study,
 )
 from repro.analysis.reporting import format_table, format_value, print_table
+from repro.analysis.sessions import (
+    SessionStudyResult,
+    sessions_study,
+)
 from repro.analysis.figures import (
     CharacterizationMatrix,
     MixedFleetResult,
@@ -52,12 +58,16 @@ __all__ = [
     "FleetSizingResult",
     "MixedFleetResult",
     "PredictiveScalingResult",
+    "PredictorErrorStudyResult",
+    "SessionStudyResult",
     "admission_study",
     "burst_profile_study",
     "fairness_study",
     "fleet_sizing_study",
     "offline_accuracy",
     "predictive_scaling_study",
+    "predictor_error_study",
+    "sessions_study",
     "characterization_matrix",
     "default_config",
     "mixed_fleet",

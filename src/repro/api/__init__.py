@@ -47,6 +47,17 @@ results report fairness metrics (``served_token_ratio``,
 ``jain_fairness``, ``tenant_throttle_decile:<d>``) usable as study/Pareto
 axes (see ``examples/fairness.py``).
 
+Multi-turn sessions: ``ArrivalSpec(sessions=SessionSpec(...))`` turns each
+arrival into a conversation -- a fixed number of turns separated by
+think-time gaps, each turn's prompt extending the previous turn's prompt
+and answer token for token so the serving-level prefix cache can reuse the
+conversation across turns.  The ``session-affinity`` router keeps a
+conversation pinned to the replica holding its KV context, a session holds
+one admission slot for its whole lifetime (``oit-throttle`` / ``slo-shed``
+never sever a conversation mid-flight), and sessionful results report
+``cross_turn_hit_rate``, ``total_turns``, ``completed_sessions``, and
+``affinity_invalidations`` (see ``examples/sessions.py``).
+
 The legacy entry points (``SingleRequestRunner``, ``AgentServer``,
 ``run_at_qps``, ``sweep_qps``) remain as thin compatibility shims over this
 layer and reproduce their historical results bit-for-bit (``run_sweep`` is
@@ -81,6 +92,7 @@ from repro.api.study import (
     resolve_metric,
     run_study,
 )
+from repro.serving.sessions import SessionSpec, SessionStats
 from repro.serving.tenants import TenantSpec
 
 __all__ = [
@@ -94,6 +106,8 @@ __all__ = [
     "PoolSpec",
     "ResultSet",
     "ServingDriver",
+    "SessionSpec",
+    "SessionStats",
     "StudyAxis",
     "StudyPoint",
     "StudyResult",

@@ -44,7 +44,9 @@ class TrafficClassRuntime:
     ``shape`` is the class's own rate modulation (``None`` = steady): the
     load generator superposes each shaped class as its own arrival process.
     ``tenants`` is the class's own user population (``None`` = inherit the
-    arrival-level tenant spec, or untenanted).
+    arrival-level tenant spec, or untenanted).  ``sessions`` is the class's
+    own multi-turn conversation shape (``None`` = inherit the arrival-level
+    session spec, or single-shot).
     """
 
     label: str
@@ -55,6 +57,7 @@ class TrafficClassRuntime:
     needs_tools: bool = True
     shape: object = None  # Optional[RateShape]
     tenants: object = None  # Optional[TenantSpec]
+    sessions: object = None  # Optional[SessionSpec]
 
 
 @dataclass
@@ -145,6 +148,9 @@ class SystemBuilder:
         scheduler_kwargs = {}
         if spec.max_num_seqs is not None:
             scheduler_kwargs["max_num_seqs"] = spec.max_num_seqs
+        kv_cache_fraction = spec.kv_cache_fraction
+        if pool is not None and pool.kv_cache_fraction is not None:
+            kv_cache_fraction = pool.kv_cache_fraction
         return EngineConfig(
             model=get_model(model),
             enable_prefix_caching=prefix_caching,
@@ -156,6 +162,7 @@ class SystemBuilder:
             ),
             max_decode_chunk=max_decode_chunk,
             decode_fast_forward=spec.decode_fast_forward,
+            kv_cache_fraction=kv_cache_fraction,
         )
 
     def stream_name(self) -> str:
@@ -205,6 +212,7 @@ class SystemBuilder:
                 needs_tools=mix.needs_tools,
                 shape=mix.shape,
                 tenants=mix.tenants,
+                sessions=mix.sessions,
             )
         return traffic
 
@@ -287,6 +295,7 @@ class SystemBuilder:
         )
 
     def build_autoscaler(self, env: Environment, cluster: Cluster) -> Optional[Autoscaler]:
+        """The spec's autoscaler wired to its target pool (``None`` if unset)."""
         scaling = self.spec.autoscaler
         if scaling is None:
             return None

@@ -37,6 +37,7 @@ class ResultSet:
     # -- shape ----------------------------------------------------------------
     @property
     def kind(self) -> str:
+        """``"characterization"`` or ``"serving"``, per the wrapped result."""
         return "characterization" if self.characterization is not None else "serving"
 
     @property
@@ -47,34 +48,41 @@ class ResultSet:
     # -- unified metrics -------------------------------------------------------
     @property
     def num_requests(self) -> int:
+        """Requests in the measured window (sessionful runs count turns)."""
         if self.characterization is not None:
             return self.characterization.num_requests
         return self.serving.num_requests
 
     @property
     def num_completed(self) -> int:
+        """Requests that ran to completion inside the measured window."""
         if self.characterization is not None:
             return self.characterization.num_requests
         return self.serving.num_completed
 
     @property
     def latencies(self) -> List[float]:
+        """Per-request end-to-end latencies (seconds), in completion order."""
         return self.raw.latencies
 
     @property
     def latency_stats(self) -> LatencyStats:
+        """Percentile summary (p50/p95/p99/mean) of :attr:`latencies`."""
         return LatencyStats.from_values(self.latencies)
 
     @property
     def mean_latency(self) -> float:
+        """Mean end-to-end request latency (seconds)."""
         return mean(self.latencies)
 
     @property
     def p95_latency(self) -> float:
+        """95th-percentile end-to-end request latency (seconds)."""
         return self.latency_stats.p95
 
     @property
     def accuracy(self) -> float:
+        """Task accuracy over completed requests (oracle-graded)."""
         return self.raw.accuracy
 
     @property
@@ -86,6 +94,7 @@ class ResultSet:
 
     @property
     def throughput_qps(self) -> float:
+        """Completed requests per simulated second of the measured window."""
         duration = self.duration
         if duration <= 0:
             return 0.0
@@ -93,12 +102,14 @@ class ResultSet:
 
     @property
     def energy_wh(self) -> float:
+        """Engine energy (watt-hours) consumed over the measured window."""
         if self.characterization is not None:
             return sum(obs.energy_wh for obs in self.characterization.observations)
         return self.serving.energy_wh
 
     @property
     def energy_wh_per_query(self) -> float:
+        """Energy per completed request (watt-hours)."""
         if self.num_completed == 0:
             return 0.0
         return self.energy_wh / self.num_completed
@@ -219,6 +230,56 @@ class ResultSet:
             return None
         return self.serving.tenant_throttle_rate
 
+    # -- multi-turn sessions ------------------------------------------------------
+    @property
+    def session_stats(self) -> Optional[Any]:
+        """Multi-turn session accounting (``None`` for sessionless runs)."""
+        if self.serving is None:
+            return None
+        return self.serving.session_stats
+
+    @property
+    def cross_turn_hit_rate(self) -> Optional[float]:
+        """Prefix-cache hit rate over later-turn prompt tokens."""
+        if self.serving is None:
+            return None
+        return self.serving.cross_turn_hit_rate
+
+    @property
+    def num_sessions(self) -> Optional[int]:
+        """Interactions started during the run."""
+        if self.serving is None:
+            return None
+        return self.serving.num_sessions
+
+    @property
+    def completed_sessions(self) -> Optional[int]:
+        """Interactions that finished their final turn."""
+        if self.serving is None:
+            return None
+        return self.serving.completed_sessions
+
+    @property
+    def total_turns(self) -> Optional[int]:
+        """Turns served across every session."""
+        if self.serving is None:
+            return None
+        return self.serving.total_turns
+
+    @property
+    def mean_turns_per_session(self) -> Optional[float]:
+        """Mean turns served per started session."""
+        if self.serving is None:
+            return None
+        return self.serving.mean_turns_per_session
+
+    @property
+    def affinity_invalidations(self) -> Optional[int]:
+        """Sticky-routing re-pins (spills plus homes lost to replica churn)."""
+        if self.serving is None:
+            return None
+        return self.serving.affinity_invalidations
+
     # -- metric vocabulary ------------------------------------------------------
     def metric(self, name: str) -> float:
         """Resolve a study-metric name on this result.
@@ -268,4 +329,10 @@ class ResultSet:
                 summary["served_token_ratio"] = self.served_token_ratio
                 summary["jain_fairness"] = self.jain_fairness
                 summary["tenant_throttle_rate"] = self.tenant_throttle_rate
+            if self.session_stats is not None:
+                summary["num_sessions"] = self.num_sessions
+                summary["completed_sessions"] = self.completed_sessions
+                summary["total_turns"] = self.total_turns
+                summary["cross_turn_hit_rate"] = self.cross_turn_hit_rate
+                summary["affinity_invalidations"] = self.affinity_invalidations
         return summary

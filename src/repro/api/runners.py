@@ -35,6 +35,7 @@ from repro.core.metrics import (
     percentile,
 )
 from repro.core.runner import CharacterizationResult, RequestObservation
+from repro.llm.tokenizer import SegmentKind
 from repro.serving.cluster import ReplicaPool
 from repro.serving.loadgen import (
     ArrivalPlan,
@@ -44,10 +45,12 @@ from repro.serving.loadgen import (
     shaped_plan,
     uniform_plan,
 )
+from repro.serving.sessions import SessionSpec, SessionState, SessionStats
 from repro.serving.shapes import ConstantShape
 from repro.serving.server import ServingConfig, ServingResult
 from repro.serving.sweep import QpsSweepResult
 from repro.serving.tenants import Tenant, tenant_fairness
+from repro.sim import RandomStream
 from repro.workloads.base import Task
 
 
@@ -178,6 +181,22 @@ class ServingDriver:
         # only arrivals the autoscaled pool would serve count as its demand
         # (None = every arrival; the single-pool case).
         self._forecast_labels: Optional[set] = self._forecast_label_filter()
+        # Multi-turn sessions: enabled when the arrival spec or any traffic
+        # class declares a SessionSpec.  When disabled, none of the session
+        # machinery draws randomness or schedules events, so sessionless
+        # specs stay bit-for-bit identical to the single-shot driver.
+        self._sessions_enabled = system.spec.arrival.sessions is not None or any(
+            runtime.sessions is not None for runtime in system.traffic.values()
+        )
+        self._session_counter = 0
+        self._session_stats = SessionStats()
+        # Completed interaction roots: finished sessions plus sessionless
+        # requests.  The drain loop counts roots (not turns) against the
+        # arrival plan when sessions are on, since every plan entry is the
+        # first turn of one interaction.
+        self._roots_done = 0
+        # Per-session think-time streams (created lazily, sessions only).
+        self._think_streams: Dict[str, RandomStream] = {}
 
     def _forecast_label_filter(self) -> Optional[set]:
         """Traffic-class labels whose arrivals land on the autoscaled pool.
@@ -225,6 +244,7 @@ class ServingDriver:
         label: Optional[str],
         tenant: Optional[Tenant],
         collected: List[AgentRunResult],
+        session: Optional[SessionState] = None,
     ):
         self._active_workers += 1
         agent = self._make_agent(label)
@@ -232,6 +252,14 @@ class ServingDriver:
             # Stamped onto every LLM request the agent issues, so fairness
             # schedulers (vtc) can account served tokens per tenant.
             agent.request_metadata["tenant"] = tenant.user
+        if session is not None:
+            # Stamped onto every LLM request of every turn, so sticky routers
+            # (session-affinity) can pin the conversation to one replica.
+            agent.request_metadata["session"] = session.session_id
+            agent.request_metadata["session_turn"] = session.next_turn
+            if session.context:
+                agent.context_prefix = list(session.context)
+                agent.followup_span = self._followup_span(session)
         result = yield agent.run_process(task)
         if label is not None:
             result.metadata["traffic_class"] = label
@@ -247,7 +275,12 @@ class ServingDriver:
         collected.append(result)
         self._note_completion(collected)
         self._active_workers -= 1
-        self._on_worker_done(label, tenant, result)
+        if session is not None:
+            self._on_turn_done(session, agent, label, tenant, result, collected)
+        else:
+            if self._sessions_enabled:
+                self._roots_done += 1
+            self._on_worker_done(label, tenant, result)
 
     def _note_completion(self, collected: List[AgentRunResult]) -> None:
         """Mark the instant the warm-up window closes (for window-true metrics)."""
@@ -261,8 +294,39 @@ class ServingDriver:
         label: Optional[str],
         tenant: Optional[Tenant],
         collected: List[AgentRunResult],
+        session: Optional[SessionState] = None,
     ) -> None:
-        self.env.process(self._worker(task, label, tenant, collected))
+        if session is None and self._sessions_enabled:
+            # An admitted arrival is the first turn of a new interaction when
+            # its class (or the arrival spec) declares a session shape.  The
+            # session is created *after* admission: a session holds exactly
+            # one door slot for its whole lifetime, from first turn through
+            # every think-time gap, released only when the last turn ends.
+            session_spec = self._session_spec_for(label)
+            if session_spec is not None:
+                session = SessionState(
+                    session_id=f"s{self._session_counter}",
+                    spec=session_spec,
+                    task=task,
+                    label=label,
+                    tenant=tenant,
+                )
+                self._session_counter += 1
+                self._session_stats.num_sessions += 1
+        self.env.process(self._worker(task, label, tenant, collected, session))
+
+    def _session_spec_for(self, label: Optional[str]) -> Optional[SessionSpec]:
+        """Effective session shape for a traffic class (override, else inherit).
+
+        Mirrors the tenant-spec semantics: a class-level ``sessions`` wins,
+        otherwise the arrival-level spec applies to every class (or to the
+        single legacy workload).  ``None`` = single-shot.
+        """
+        if label is not None:
+            runtime = self.system.traffic.get(label)
+            if runtime is not None and runtime.sessions is not None:
+                return runtime.sessions
+        return self.spec.arrival.sessions
 
     # -- door gate (admission control) ----------------------------------------
     def _door_queue_for(
@@ -319,6 +383,85 @@ class ServingDriver:
             self.env.now, label, result.e2e_latency, result.total_output_tokens, tenant
         )
         self._drain_door_queues()
+
+    # -- multi-turn sessions ----------------------------------------------------
+    def _on_turn_done(
+        self,
+        session: SessionState,
+        agent,
+        label: Optional[str],
+        tenant: Optional[Tenant],
+        result: AgentRunResult,
+        collected: List[AgentRunResult],
+    ) -> None:
+        """Account one finished turn; close the session or schedule the next.
+
+        A session is one interaction at the admission door: the final turn
+        releases its slot through the normal completion path, while every
+        earlier turn only reports telemetry (``on_turn_complete``) so
+        ``oit-throttle``/``slo-shed`` never sever a conversation mid-flight
+        -- the same in-flight protection interactions get within a turn.
+        """
+        session.turns_done += 1
+        stats = self._session_stats
+        stats.total_turns += 1
+        result.metadata["session"] = session.session_id
+        result.metadata["session_turn"] = session.turns_done
+        if session.turns_done > 1:
+            # Cross-turn reuse accounting: a later turn's prompt begins with
+            # the previous turn's full conversation, so its cached prompt
+            # tokens measure how much session context the prefix cache (and
+            # the router's placement) actually retained across the gap.
+            for call in result.llm_calls:
+                stats.cross_turn_prompt_tokens += call.prompt_tokens
+                stats.cross_turn_cached_tokens += call.cached_prompt_tokens
+        if session.finished:
+            stats.completed_sessions += 1
+            self._roots_done += 1
+            self._on_worker_done(label, tenant, result)
+            return
+        # The conversation grows by this turn's full prompt plus its answer;
+        # the next turn's prompt extends it token for token, which is the
+        # exact-prefix match the cross-turn cache hit depends on.
+        context = list(agent.last_prompt_spans)
+        if result.llm_calls:
+            context.append(result.llm_calls[-1].output_span())
+        session.context = context
+        self.admission.on_turn_complete(
+            self.env.now, label, result.e2e_latency, result.total_output_tokens, tenant
+        )
+        self._drain_door_queues()
+        self.env.process(self._session_continuation(session, collected))
+
+    def _session_continuation(self, session: SessionState, collected):
+        """Think-time gap, then re-inject the session's next turn (closed loop)."""
+        yield self.env.timeout(max(self._think_time(session), 0.0))
+        self._spawn(session.task, session.label, session.tenant, collected, session=session)
+
+    def _think_time(self, session: SessionState) -> float:
+        spec = session.spec
+        if spec.think_time_s <= 0:
+            return 0.0
+        if spec.think_time == "constant":
+            return spec.think_time_s
+        stream = self._think_streams.get(session.session_id)
+        if stream is None:
+            # One fresh substream per session, created only when sessions are
+            # active: the experiment's existing streams draw nothing new, so
+            # sessionless runs remain bit-for-bit identical.
+            stream = self.system.stream.substream(
+                f"session-think/{session.session_id}"
+            )
+            self._think_streams[session.session_id] = stream
+        return stream.exponential(spec.think_time_s)
+
+    def _followup_span(self, session: SessionState):
+        """The next user message: fresh tokens keyed by (task, turn number)."""
+        return self.system.cluster.tokenizer.span(
+            SegmentKind.USER,
+            f"user:{session.task.task_id}#turn{session.next_turn}",
+            session.spec.followup_tokens,
+        )
 
     def _drain_door_queues(self) -> None:
         for policy, queue in list(self._door_queues.values()):
@@ -386,6 +529,10 @@ class ServingDriver:
         self._door_queues.clear()
         self._retry_pending.clear()
         self._tenant_completions = []
+        self._session_counter = 0
+        self._session_stats = SessionStats()
+        self._roots_done = 0
+        self._think_streams = {}
         self.admission.reset_counts()
         energy_before = system.cluster.energy_snapshot()
         start_time = env.now
@@ -396,19 +543,33 @@ class ServingDriver:
         # worker).  An autoscaler's periodic heartbeat keeps the event queue
         # non-empty forever, so "queue empty" alone is not a liveness test:
         # when only background timers (heartbeats, replica warm-ups) remain,
-        # no worker can ever complete and we bail out the same way.
-        while (
-            len(collected) + self.admission.total_rejected < len(plan)
-            and env.peek() != float("inf")
-        ):
-            if self._only_background_events_remain():
-                break
-            env.step()
+        # no worker can ever complete and we bail out the same way.  With
+        # sessions on, a plan entry is one *interaction*: the loop counts
+        # completed roots (finished sessions + sessionless requests) while
+        # think-time timers count as foreground work that keeps it alive.
+        if self._sessions_enabled:
+            while (
+                self._roots_done + self.admission.total_rejected < len(plan)
+                and env.peek() != float("inf")
+            ):
+                if self._only_background_events_remain():
+                    break
+                env.step()
+        else:
+            while (
+                len(collected) + self.admission.total_rejected < len(plan)
+                and env.peek() != float("inf")
+            ):
+                if self._only_background_events_remain():
+                    break
+                env.step()
         end_time = env.now
         return self._build_result(
             collected,
             offered_qps=plan.offered_qps,
-            num_requests=len(plan),
+            # With sessions every turn is a served request, so the request
+            # count is what actually completed rather than the plan length.
+            num_requests=len(collected) if self._sessions_enabled else len(plan),
             energy_before=energy_before,
             start_time=start_time,
             end_time=end_time,
@@ -500,6 +661,13 @@ class ServingDriver:
         if autoscaler is not None and autoscaler.forecaster is not None:
             forecast_mae = autoscaler.forecast_mae(end_time)
             scale_ahead_leads = list(autoscaler.scale_ahead_leads)
+        session_stats = None
+        if self._sessions_enabled:
+            self._session_stats.affinity_invalidations = sum(
+                getattr(pool.router, "invalidations", 0)
+                for pool in system.cluster.pools.values()
+            )
+            session_stats = self._session_stats
         return ServingResult(
             config=compat_serving_config(self.spec),
             offered_qps=offered_qps,
@@ -529,6 +697,7 @@ class ServingDriver:
             forecast_mae=forecast_mae,
             scale_ahead_leads=scale_ahead_leads,
             tenant_stats=self._tenant_stats(contended_until),
+            session_stats=session_stats,
         )
 
     def _tenant_stats(self, contended_until: Optional[float]):

@@ -37,6 +37,7 @@ from repro.serving.admission import (
 )
 from repro.serving.forecast import FORECASTERS, available_forecasters
 from repro.serving.cluster import ROUTER_POLICIES, available_router_policies
+from repro.serving.sessions import SessionSpec
 from repro.serving.shapes import RateShape, build_shape, shape_from_dict
 from repro.serving.tenants import TenantSpec
 from repro.workloads import available_workloads
@@ -78,6 +79,13 @@ class ArrivalSpec:
     with a tenant drawn from a Zipf-skewed user population (a dict form is
     accepted for deserialization).  ``tenants=None`` reproduces the
     untenanted plans bit-for-bit.
+
+    ``sessions`` optionally attaches a
+    :class:`~repro.serving.sessions.SessionSpec`: every planned arrival
+    becomes the *first turn* of a multi-turn conversation whose later turns
+    share a growing prefix and re-enter the cluster closed-loop after a
+    think-time gap (a dict form is accepted for deserialization).
+    ``sessions=None`` reproduces the single-shot model bit-for-bit.
     """
 
     process: str = "single"
@@ -87,6 +95,7 @@ class ArrivalSpec:
     shape: Optional[RateShape] = None
     duration_s: Optional[float] = None
     tenants: Optional[TenantSpec] = None
+    sessions: Optional[SessionSpec] = None
 
     def __post_init__(self) -> None:
         if self.process not in ARRIVAL_PROCESSES:
@@ -139,6 +148,19 @@ class ArrivalSpec:
                     f"arrival tenants must be a TenantSpec (or a dict form), "
                     f"got {self.tenants!r}"
                 )
+        if isinstance(self.sessions, dict):
+            object.__setattr__(self, "sessions", SessionSpec.from_dict(self.sessions))
+        if self.sessions is not None:
+            if self.process not in ("poisson", "uniform"):
+                raise ValueError(
+                    f"{self.process} arrivals do not take sessions "
+                    "(sessions re-enter an open-loop serving system)"
+                )
+            if not isinstance(self.sessions, SessionSpec):
+                raise ValueError(
+                    f"arrival sessions must be a SessionSpec (or a dict form), "
+                    f"got {self.sessions!r}"
+                )
 
     @classmethod
     def from_dict(cls, payload: Dict[str, Any]) -> "ArrivalSpec":
@@ -148,6 +170,8 @@ class ArrivalSpec:
             data["shape"] = shape_from_dict(data["shape"])
         if isinstance(data.get("tenants"), dict):
             data["tenants"] = TenantSpec.from_dict(data["tenants"])
+        if isinstance(data.get("sessions"), dict):
+            data["sessions"] = SessionSpec.from_dict(data["sessions"])
         return cls(**data)
 
 
@@ -347,8 +371,8 @@ class PoolSpec:
     ``traffic_classes`` names the :class:`WeightedWorkload` labels this pool
     prefers; ``max_predicted_decode`` additionally (or instead) claims every
     request whose predicted decode length fits the bound.  ``None`` for
-    ``enable_prefix_caching`` / ``max_decode_chunk`` inherits the experiment
-    defaults.
+    ``enable_prefix_caching`` / ``max_decode_chunk`` / ``kv_cache_fraction``
+    inherits the experiment defaults.
     """
 
     name: str
@@ -361,6 +385,7 @@ class PoolSpec:
     accepts_spill: bool = True
     enable_prefix_caching: Optional[bool] = None
     max_decode_chunk: Optional[int] = None
+    kv_cache_fraction: Optional[float] = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -385,6 +410,10 @@ class PoolSpec:
             raise ValueError(f"pool {self.name!r}: max_predicted_decode must be >= 1")
         if self.max_decode_chunk is not None and self.max_decode_chunk < 1:
             raise ValueError(f"pool {self.name!r}: max_decode_chunk must be >= 1")
+        if self.kv_cache_fraction is not None and not 0 < self.kv_cache_fraction <= 1:
+            raise ValueError(
+                f"pool {self.name!r}: kv_cache_fraction must be in (0, 1] (or None)"
+            )
         if not isinstance(self.traffic_classes, tuple):
             object.__setattr__(self, "traffic_classes", tuple(self.traffic_classes))
 
@@ -409,6 +438,12 @@ class WeightedWorkload:
     :class:`~repro.serving.tenants.TenantSpec` user population (overriding
     the :attr:`ArrivalSpec.tenants` default for this class); dict forms are
     accepted like shapes.
+
+    ``sessions`` optionally gives this class its own
+    :class:`~repro.serving.sessions.SessionSpec` conversation shape
+    (overriding the :attr:`ArrivalSpec.sessions` default for this class);
+    dict forms are accepted like shapes.  A chat class can run multi-turn
+    conversations while a batch class stays single-shot.
     """
 
     agent: str = "react"
@@ -418,6 +453,7 @@ class WeightedWorkload:
     agent_config: Optional[AgentConfig] = None
     shape: Optional[RateShape] = None
     tenants: Optional[TenantSpec] = None
+    sessions: Optional[SessionSpec] = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -450,9 +486,17 @@ class WeightedWorkload:
                 f"traffic class {self.name!r}: tenants must be a TenantSpec "
                 f"(or a dict form), got {self.tenants!r}"
             )
+        if isinstance(self.sessions, dict):
+            object.__setattr__(self, "sessions", SessionSpec.from_dict(self.sessions))
+        if self.sessions is not None and not isinstance(self.sessions, SessionSpec):
+            raise ValueError(
+                f"traffic class {self.name!r}: sessions must be a SessionSpec "
+                f"(or a dict form), got {self.sessions!r}"
+            )
 
     @property
     def needs_tools(self) -> bool:
+        """Whether this class's agent needs the tool runtime (see ``TOOLLESS_AGENTS``)."""
         return self.agent.lower() not in TOOLLESS_AGENTS
 
 
@@ -578,6 +622,11 @@ class ExperimentSpec:
     # door, which is where admission-order policies (priority, sjf, vtc)
     # actually differ from fcfs.
     max_num_seqs: Optional[int] = None
+    # Fraction of the hardware-derived KV block budget each replica gets
+    # (1.0 = the full budget, the legacy behaviour).  Shrinking it models a
+    # smaller prefix-cache working set: warm conversation prefixes are
+    # evicted sooner, which is the capacity axis of the sessions study.
+    kv_cache_fraction: float = 1.0
 
     def __post_init__(self) -> None:
         if self.agent.lower() not in AGENT_CLASSES:
@@ -616,6 +665,8 @@ class ExperimentSpec:
             raise ValueError("predictor_error must be >= 0")
         if self.max_num_seqs is not None and self.max_num_seqs < 1:
             raise ValueError("max_num_seqs must be >= 1 (or None for the default)")
+        if not 0 < self.kv_cache_fraction <= 1:
+            raise ValueError("kv_cache_fraction must be in (0, 1]")
         self._validate_fleet()
         self._validate_admission()
 
@@ -721,6 +772,7 @@ class ExperimentSpec:
     # -- derived -------------------------------------------------------------
     @property
     def needs_tools(self) -> bool:
+        """Whether any configured agent needs the tool runtime."""
         if self.workloads:
             return any(mix.needs_tools for mix in self.workloads)
         return self.agent.lower() not in TOOLLESS_AGENTS

@@ -45,6 +45,7 @@ from repro.api.spec import (
     PoolSpec,
     WeightedWorkload,
 )
+from repro.serving.sessions import SessionSpec
 from repro.serving.shapes import RateShape, shape_from_dict
 from repro.serving.tenants import TenantSpec
 
@@ -178,9 +179,11 @@ class StudyAxis:
 
     @property
     def path(self) -> str:
+        """The dotted spec path this axis sweeps (``field``, or ``name``)."""
         return self.field or self.name
 
     def label_for(self, index: int) -> str:
+        """Display label of the value at ``index`` (derived when unset)."""
         if self.labels:
             return self.labels[index]
         return _default_label(self.values[index])
@@ -312,6 +315,7 @@ class StudySpec:
 
     @property
     def num_points(self) -> int:
+        """Total runs the study declares (grid points x seeds)."""
         return len(self.expand())
 
     # -- serialisation --------------------------------------------------------
@@ -368,6 +372,7 @@ _SPEC_VALUE_TYPES: Dict[str, type] = {
     "ArrivalSpec": ArrivalSpec,
     "MeasurementSpec": MeasurementSpec,
     "TenantSpec": TenantSpec,
+    "SessionSpec": SessionSpec,
 }
 
 
@@ -428,6 +433,7 @@ class StudyPoint:
     outcome: ResultSet
 
     def metric(self, metric: Metric, missing_ok: bool = False) -> Optional[float]:
+        """Evaluate a study metric on this point's outcome (see module docs)."""
         return resolve_metric(self.outcome, metric, missing_ok=missing_ok)
 
 
@@ -452,6 +458,7 @@ class StudyResult:
 
     @property
     def axis_names(self) -> List[str]:
+        """Axis names in declaration order (point keys for explicit points)."""
         if self.study.axes:
             return [axis.name for axis in self.study.axes]
         names: List[str] = []

@@ -53,6 +53,9 @@ class EngineConfig:
     # path.  Unlike ``max_decode_chunk`` this is not an approximation; it is
     # on by default and only disabled for A/B-testing the equivalence.
     decode_fast_forward: bool = True
+    # Fraction of the hardware-derived KV block budget this engine gets
+    # (1.0 = the full budget; see KVCacheConfig.from_hardware).
+    kv_cache_fraction: float = 1.0
 
     def resolved_cluster(self) -> ClusterSpec:
         return self.cluster if self.cluster is not None else cluster_for_model(self.model)
@@ -91,6 +94,7 @@ class LLMEngine:
             cluster=self.cluster,
             block_size=config.block_size,
             enable_prefix_caching=config.enable_prefix_caching,
+            capacity_fraction=config.kv_cache_fraction,
         )
         self.kv_cache = PrefixCache(kv_config)
         self.scheduler = Scheduler(config.scheduler, self.kv_cache)

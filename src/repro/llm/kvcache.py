@@ -33,9 +33,21 @@ class KVCacheConfig:
         cluster: ClusterSpec,
         block_size: int = 16,
         enable_prefix_caching: bool = True,
+        capacity_fraction: float = 1.0,
     ) -> "KVCacheConfig":
+        """Size the cache from the hardware's post-weights memory budget.
+
+        ``capacity_fraction`` scales the derived block count (1.0 = the full
+        budget): shrinking it models a smaller prefix-cache working set
+        without changing the hardware spec, the capacity axis of the
+        sessions study.
+        """
         bytes_per_block = model.kv_bytes_per_token * block_size
         num_blocks = int(cluster.kv_cache_bytes(model) // bytes_per_block)
+        if capacity_fraction != 1.0:
+            if not 0 < capacity_fraction <= 1:
+                raise ValueError("capacity_fraction must be in (0, 1]")
+            num_blocks = max(1, int(num_blocks * capacity_fraction))
         return cls(
             block_size=block_size,
             num_blocks=num_blocks,

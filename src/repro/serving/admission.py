@@ -919,6 +919,32 @@ class AdmissionController:
         for policy in self.policies:
             policy.observe(now, traffic_class, latency, output_tokens)
 
+    def on_turn_complete(
+        self,
+        now: float,
+        traffic_class: Optional[str],
+        latency: float,
+        output_tokens: int,
+        tenant=None,
+    ) -> None:
+        """A non-final session turn finished: telemetry only, no release.
+
+        A multi-turn session is *one* interaction at the door: it is offered
+        (and counted, and slot-accounted) exactly once, at its first turn,
+        and its slot -- including ``oit-throttle``'s per-user in-flight
+        protection -- is held across every think-time gap until the final
+        turn completes through :meth:`on_complete`.  Later turns therefore
+        never consult :meth:`AdmissionPolicy.decide` and can never be
+        delayed or rejected: no policy can sever a conversation mid-way.
+        Turn latencies still feed :meth:`AdmissionPolicy.observe` so
+        SLO-tracking policies see every completion.
+        """
+        counts = self._counts_for(traffic_class)
+        counts.completed += 1
+        counts.output_tokens += output_tokens
+        for policy in self.policies:
+            policy.observe(now, traffic_class, latency, output_tokens)
+
     # -- estimates & reporting ----------------------------------------------
     def estimated_task_tokens(self, traffic_class: Optional[str]) -> float:
         """Mean output tokens of completed same-class requests (see class doc)."""

@@ -108,6 +108,64 @@ class PrefixAffinityRouter(RouterPolicy):
         return preferred
 
 
+class SessionAffinityRouter(RouterPolicy):
+    """Session-sticky routing: keep a conversation on the replica holding
+    its warm prefix.
+
+    Each multi-turn session (identified by the ``session`` metadata tag the
+    serving driver stamps on every turn's requests) is pinned to the replica
+    that served its first turn, so later turns land on the engine whose
+    prefix cache still holds the conversation's KV blocks.  Requests without
+    a session tag fall back to least-loaded -- which is also how a session's
+    *first* turn picks its home, so concurrent sessions spread across the
+    pool instead of concentrating on one replica the way content-hash
+    ``prefix-affinity`` does when sessions share a task pool.
+
+    Stickiness yields to load and capacity: when the pinned replica carries
+    ``spill_threshold`` more in-flight requests than the least-loaded one,
+    or has left the active set (replica shrink), the turn re-pins to the
+    least-loaded replica.  Either way the old affinity -- and the cross-turn
+    cache hit it promised -- is *invalidated* (counted in
+    :attr:`invalidations`): the conversation's blocks live on the old
+    replica, so the re-pinned turn pays full re-prefill there.
+    """
+
+    name = "session-affinity"
+
+    def __init__(self, spill_threshold: int = 4) -> None:
+        self.spill_threshold = spill_threshold
+        #: session id -> the engine holding the session's warm prefix.
+        self._homes: Dict[str, LLMEngine] = {}
+        #: Affinity invalidations (spill or shrink re-pinned a session).
+        self.invalidations = 0
+
+    def select(self, request: LLMRequest, replicas: Sequence[LLMEngine]) -> int:
+        loads = [engine.num_pending_requests for engine in replicas]
+        least = loads.index(min(loads))
+        session = request.metadata.get("session") if request.metadata else None
+        if session is None:
+            return least
+        home = self._homes.get(session)
+        preferred = -1
+        if home is not None:
+            for index, engine in enumerate(replicas):
+                if engine is home:
+                    preferred = index
+                    break
+        if preferred < 0:
+            # First turn, or the home replica was drained out of the active
+            # set: (re-)pin to the least-loaded replica.
+            if home is not None:
+                self.invalidations += 1
+            self._homes[session] = replicas[least]
+            return least
+        if loads[preferred] - loads[least] > self.spill_threshold:
+            self.invalidations += 1
+            self._homes[session] = replicas[least]
+            return least
+        return preferred
+
+
 ROUTER_POLICY_REGISTRY = PolicyRegistry("router policy")
 #: name -> class mapping (keys are lower-case); kept for membership checks.
 ROUTER_POLICIES: Dict[str, Type[RouterPolicy]] = ROUTER_POLICY_REGISTRY.policies
@@ -121,6 +179,7 @@ def register_router_policy(router_class: Type[RouterPolicy]) -> Type[RouterPolic
 register_router_policy(RoundRobinRouter)
 register_router_policy(LeastLoadedRouter)
 register_router_policy(PrefixAffinityRouter)
+register_router_policy(SessionAffinityRouter)
 
 
 def available_router_policies() -> List[str]:

@@ -29,6 +29,7 @@ from repro.core.metrics import (
 from repro.serving.admission import ClassAdmissionStats
 from repro.serving.cluster import ScalingEvent
 from repro.serving.loadgen import ArrivalPlan
+from repro.serving.sessions import SessionStats
 from repro.serving.tenants import TenantFairnessStats
 
 
@@ -95,6 +96,8 @@ class ServingResult:
     # Per-tenant fairness accounting over the contended window (None for
     # untenanted runs).
     tenant_stats: Optional[TenantFairnessStats] = None
+    # Multi-turn session accounting (None for sessionless runs).
+    session_stats: Optional[SessionStats] = None
 
     @property
     def num_completed(self) -> int:
@@ -215,6 +218,54 @@ class ServingResult:
         if self.tenant_stats is None:
             return None
         return self.tenant_stats.throttle_rate
+
+    # -- multi-turn sessions ----------------------------------------------------
+    @property
+    def cross_turn_hit_rate(self) -> Optional[float]:
+        """Prefix-cache hit rate over later-turn prompt tokens (``None`` sessionless).
+
+        Measures how much conversation context survived the think-time gap:
+        1.0 means every later turn re-read its history straight from the KV
+        cache of the replica that served the previous turn.
+        """
+        if self.session_stats is None:
+            return None
+        return self.session_stats.cross_turn_hit_rate
+
+    @property
+    def num_sessions(self) -> Optional[int]:
+        """Interactions started during the run (``None`` for sessionless runs)."""
+        if self.session_stats is None:
+            return None
+        return self.session_stats.num_sessions
+
+    @property
+    def completed_sessions(self) -> Optional[int]:
+        """Interactions that finished their final turn (``None`` sessionless)."""
+        if self.session_stats is None:
+            return None
+        return self.session_stats.completed_sessions
+
+    @property
+    def total_turns(self) -> Optional[int]:
+        """Turns served across every session (``None`` for sessionless runs)."""
+        if self.session_stats is None:
+            return None
+        return self.session_stats.total_turns
+
+    @property
+    def mean_turns_per_session(self) -> Optional[float]:
+        """Mean turns served per started session (``None`` sessionless)."""
+        if self.session_stats is None:
+            return None
+        return self.session_stats.mean_turns_per_session
+
+    @property
+    def affinity_invalidations(self) -> Optional[int]:
+        """Sticky-routing re-pins: spills plus homes lost to replica churn."""
+        if self.session_stats is None:
+            return None
+        return self.session_stats.affinity_invalidations
 
     def per_class_admission(self) -> List[Dict[str, object]]:
         """One flat row per traffic class of the door accounting."""

@@ -142,6 +142,7 @@ class TestRouterPolicies:
             "least-loaded",
             "prefix-affinity",
             "round-robin",
+            "session-affinity",
         ]
 
     def test_unknown_router_rejected(self):

@@ -1,0 +1,98 @@
+"""Documentation freshness: generated docs must match the live registries."""
+
+from __future__ import annotations
+
+import importlib.util
+import re
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DOCS = REPO_ROOT / "docs"
+
+
+def _load_generator():
+    spec = importlib.util.spec_from_file_location(
+        "gen_registry_docs", REPO_ROOT / "scripts" / "gen_registry_docs.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestRegistryDocs:
+    def test_registries_md_is_fresh(self):
+        generator = _load_generator()
+        committed = (DOCS / "REGISTRIES.md").read_text()
+        assert committed == generator.render(), (
+            "docs/REGISTRIES.md is stale; regenerate with: "
+            "PYTHONPATH=src python scripts/gen_registry_docs.py"
+        )
+
+    def test_check_mode_passes_when_fresh(self):
+        generator = _load_generator()
+        assert generator.main(["--check"]) == 0
+
+    def test_every_registry_entry_is_documented(self):
+        from repro.llm.scheduler import available_scheduler_policies
+        from repro.serving.admission import available_admission_policies
+        from repro.serving.cluster import available_router_policies
+        from repro.serving.forecast import available_forecasters
+        from repro.serving.shapes import available_shapes
+
+        text = (DOCS / "REGISTRIES.md").read_text()
+        for name in (
+            *available_scheduler_policies(),
+            *available_router_policies(),
+            *available_admission_policies(),
+            *available_forecasters(),
+            *available_shapes(),
+        ):
+            assert f"| `{name}` |" in text, f"registry entry {name!r} undocumented"
+
+
+class TestHandWrittenDocs:
+    def test_doc_suite_exists(self):
+        for name in ("ARCHITECTURE.md", "SPECS.md", "METRICS.md", "REGISTRIES.md"):
+            assert (DOCS / name).is_file(), f"docs/{name} missing"
+
+    def test_relative_links_resolve(self):
+        # Every intra-repo markdown link in docs/ and README.md must point at
+        # a real file; external links (scheme://) are out of scope.
+        link = re.compile(r"\[[^\]]+\]\(([^)#]+)(?:#[^)]*)?\)")
+        for source in (*DOCS.glob("*.md"), REPO_ROOT / "README.md"):
+            for target in link.findall(source.read_text()):
+                target = target.strip()
+                if "://" in target or not target:
+                    continue
+                base = source.parent if source.parent != REPO_ROOT else REPO_ROOT
+                resolved = (base / target).resolve()
+                assert resolved.exists(), f"{source.name}: broken link to {target}"
+
+    def test_specs_doc_covers_every_spec_type(self):
+        text = (DOCS / "SPECS.md").read_text()
+        for spec_name in (
+            "ExperimentSpec",
+            "ArrivalSpec",
+            "MeasurementSpec",
+            "AdmissionSpec",
+            "PoolSpec",
+            "WeightedWorkload",
+            "AutoscalerSpec",
+            "TenantSpec",
+            "SessionSpec",
+            "StudySpec",
+        ):
+            assert f"## {spec_name}" in text, (
+                f"docs/SPECS.md does not document {spec_name}"
+            )
+
+    def test_metrics_doc_matches_resolvable_names(self):
+        # Every plain metric name documented must actually resolve on a
+        # ResultSet (the doc is a contract, not a wish list).
+        from repro.api import ResultSet
+
+        text = (DOCS / "METRICS.md").read_text()
+        names = re.findall(r"^\| `([a-z_0-9]+)` \|", text, flags=re.MULTILINE)
+        assert len(names) > 20
+        for name in names:
+            assert hasattr(ResultSet, name), f"documented metric {name!r} unknown"
