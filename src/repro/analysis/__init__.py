@@ -9,6 +9,10 @@ from repro.analysis.burst_profiles import (
     burst_profile_study,
     offline_accuracy,
 )
+from repro.analysis.engine_fidelity import (
+    EngineFidelityStudyResult,
+    engine_fidelity_study,
+)
 from repro.analysis.fairness import (
     FairnessStudyResult,
     PredictorErrorStudyResult,
@@ -54,6 +58,7 @@ __all__ = [
     "AdmissionStudyResult",
     "BurstProfileResult",
     "CharacterizationMatrix",
+    "EngineFidelityStudyResult",
     "FairnessStudyResult",
     "FleetSizingResult",
     "MixedFleetResult",
@@ -62,6 +67,7 @@ __all__ = [
     "SessionStudyResult",
     "admission_study",
     "burst_profile_study",
+    "engine_fidelity_study",
     "fairness_study",
     "fleet_sizing_study",
     "offline_accuracy",

@@ -92,6 +92,7 @@ from repro.api.study import (
     resolve_metric,
     run_study,
 )
+from repro.llm.speculative import SpeculativeSpec
 from repro.serving.sessions import SessionSpec, SessionStats
 from repro.serving.tenants import TenantSpec
 
@@ -108,6 +109,7 @@ __all__ = [
     "ServingDriver",
     "SessionSpec",
     "SessionStats",
+    "SpeculativeSpec",
     "StudyAxis",
     "StudyPoint",
     "StudyResult",

@@ -151,6 +151,12 @@ class SystemBuilder:
         kv_cache_fraction = spec.kv_cache_fraction
         if pool is not None and pool.kv_cache_fraction is not None:
             kv_cache_fraction = pool.kv_cache_fraction
+        prefill_chunk_tokens = spec.prefill_chunk_tokens
+        if pool is not None and pool.prefill_chunk_tokens is not None:
+            prefill_chunk_tokens = pool.prefill_chunk_tokens
+        speculative = spec.speculative
+        if pool is not None and pool.speculative is not None:
+            speculative = pool.speculative
         return EngineConfig(
             model=get_model(model),
             enable_prefix_caching=prefix_caching,
@@ -163,6 +169,8 @@ class SystemBuilder:
             max_decode_chunk=max_decode_chunk,
             decode_fast_forward=spec.decode_fast_forward,
             kv_cache_fraction=kv_cache_fraction,
+            prefill_chunk_tokens=prefill_chunk_tokens,
+            speculative=speculative,
         )
 
     def stream_name(self) -> str:

@@ -280,6 +280,28 @@ class ResultSet:
             return None
         return self.serving.affinity_invalidations
 
+    # -- engine fidelity ----------------------------------------------------------
+    @property
+    def prefill_hol_block_s(self) -> float:
+        """Seconds decodes spent blocked behind atomic prefill steps."""
+        if self.serving is None:
+            return 0.0
+        return self.serving.prefill_hol_block_s
+
+    @property
+    def mean_accepted_per_step(self) -> Optional[float]:
+        """Mean draft tokens accepted per speculative verify (``None`` = off)."""
+        if self.serving is None:
+            return None
+        return self.serving.mean_accepted_per_step
+
+    @property
+    def draft_energy_j(self) -> float:
+        """Joules spent in speculative draft passes (0.0 without speculation)."""
+        if self.serving is None:
+            return 0.0
+        return self.serving.draft_energy_j
+
     # -- metric vocabulary ------------------------------------------------------
     def metric(self, name: str) -> float:
         """Resolve a study-metric name on this result.
@@ -335,4 +357,9 @@ class ResultSet:
                 summary["total_turns"] = self.total_turns
                 summary["cross_turn_hit_rate"] = self.cross_turn_hit_rate
                 summary["affinity_invalidations"] = self.affinity_invalidations
+            if self.spec.prefill_chunk_tokens is not None:
+                summary["prefill_hol_block_s"] = self.prefill_hol_block_s
+            if self.mean_accepted_per_step is not None:
+                summary["mean_accepted_per_step"] = self.mean_accepted_per_step
+                summary["draft_energy_j"] = self.draft_energy_j
         return summary

@@ -35,6 +35,7 @@ from repro.core.metrics import (
     percentile,
 )
 from repro.core.runner import CharacterizationResult, RequestObservation
+from repro.llm.energy import PowerState
 from repro.llm.tokenizer import SegmentKind
 from repro.serving.cluster import ReplicaPool
 from repro.serving.loadgen import (
@@ -661,6 +662,16 @@ class ServingDriver:
         if autoscaler is not None and autoscaler.forecaster is not None:
             forecast_mae = autoscaler.forecast_mae(end_time)
             scale_ahead_leads = list(autoscaler.scale_ahead_leads)
+        # Engine-fidelity telemetry: whole-run counters summed across
+        # replicas (like preemptions), draft energy from the measured window.
+        prefill_hol_block_s = 0.0
+        spec_sequence_steps = 0
+        spec_accepted_tokens = 0
+        for engine in system.cluster.engines:
+            prefill_hol_block_s += engine.prefill_hol_block_s
+            spec_sequence_steps += engine.spec_sequence_steps
+            spec_accepted_tokens += engine.spec_accepted_tokens
+        draft_energy_j = window.joules_by_state.get(PowerState.DRAFT, 0.0)
         session_stats = None
         if self._sessions_enabled:
             self._session_stats.affinity_invalidations = sum(
@@ -698,6 +709,10 @@ class ServingDriver:
             scale_ahead_leads=scale_ahead_leads,
             tenant_stats=self._tenant_stats(contended_until),
             session_stats=session_stats,
+            prefill_hol_block_s=prefill_hol_block_s,
+            spec_sequence_steps=spec_sequence_steps,
+            spec_accepted_tokens=spec_accepted_tokens,
+            draft_energy_j=draft_energy_j,
         )
 
     def _tenant_stats(self, contended_until: Optional[float]):

@@ -31,6 +31,7 @@ from repro.agents import AgentConfig
 from repro.agents.registry import AGENT_CLASSES, available_agents
 from repro.llm.models import get_model
 from repro.llm.scheduler import SCHEDULER_POLICIES, available_scheduler_policies
+from repro.llm.speculative import SpeculativeSpec
 from repro.serving.admission import (
     ADMISSION_POLICIES,
     available_admission_policies,
@@ -386,6 +387,11 @@ class PoolSpec:
     enable_prefix_caching: Optional[bool] = None
     max_decode_chunk: Optional[int] = None
     kv_cache_fraction: Optional[float] = None
+    # Chunked-prefill budget and speculative-decoding model for this pool's
+    # engines (None = inherit the experiment defaults; dict forms accepted
+    # for ``speculative``).
+    prefill_chunk_tokens: Optional[int] = None
+    speculative: Optional[SpeculativeSpec] = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -413,6 +419,21 @@ class PoolSpec:
         if self.kv_cache_fraction is not None and not 0 < self.kv_cache_fraction <= 1:
             raise ValueError(
                 f"pool {self.name!r}: kv_cache_fraction must be in (0, 1] (or None)"
+            )
+        if self.prefill_chunk_tokens is not None and self.prefill_chunk_tokens < 1:
+            raise ValueError(
+                f"pool {self.name!r}: prefill_chunk_tokens must be >= 1 (or None)"
+            )
+        if isinstance(self.speculative, dict):
+            object.__setattr__(
+                self, "speculative", SpeculativeSpec.from_dict(self.speculative)
+            )
+        if self.speculative is not None and not isinstance(
+            self.speculative, SpeculativeSpec
+        ):
+            raise ValueError(
+                f"pool {self.name!r}: speculative must be a SpeculativeSpec "
+                f"(or a dict form), got {self.speculative!r}"
             )
         if not isinstance(self.traffic_classes, tuple):
             object.__setattr__(self, "traffic_classes", tuple(self.traffic_classes))
@@ -627,6 +648,13 @@ class ExperimentSpec:
     # smaller prefix-cache working set: warm conversation prefixes are
     # evicted sooner, which is the capacity axis of the sessions study.
     kv_cache_fraction: float = 1.0
+    # Chunked prefill: per-step budget of prompt tokens each engine computes,
+    # co-scheduled with decode tokens in one mixed roofline step.  None (the
+    # default) keeps atomic prefill -- bit-for-bit the legacy behaviour.
+    prefill_chunk_tokens: Optional[int] = None
+    # Speculative decoding acceptance model (dict forms accepted); None (the
+    # default) disables it -- bit-for-bit the legacy behaviour.
+    speculative: Optional[SpeculativeSpec] = None
 
     def __post_init__(self) -> None:
         if self.agent.lower() not in AGENT_CLASSES:
@@ -667,6 +695,29 @@ class ExperimentSpec:
             raise ValueError("max_num_seqs must be >= 1 (or None for the default)")
         if not 0 < self.kv_cache_fraction <= 1:
             raise ValueError("kv_cache_fraction must be in (0, 1]")
+        if self.prefill_chunk_tokens is not None and self.prefill_chunk_tokens < 1:
+            raise ValueError("prefill_chunk_tokens must be >= 1 (or None)")
+        if isinstance(self.speculative, dict):
+            object.__setattr__(
+                self, "speculative", SpeculativeSpec.from_dict(self.speculative)
+            )
+        if self.speculative is not None and not isinstance(
+            self.speculative, SpeculativeSpec
+        ):
+            raise ValueError(
+                f"speculative must be a SpeculativeSpec (or a dict form), "
+                f"got {self.speculative!r}"
+            )
+        if self.max_decode_chunk > 1 and (
+            self.prefill_chunk_tokens is not None or self.speculative is not None
+        ):
+            # Same incoherence EngineConfig.__post_init__ rejects; fail at
+            # spec construction with the experiment-level field names.
+            raise ValueError(
+                "prefill_chunk_tokens / speculative are incompatible with "
+                "max_decode_chunk > 1 (approximate decode chunking); "
+                "use decode_fast_forward for speed instead"
+            )
         self._validate_fleet()
         self._validate_admission()
 
@@ -824,4 +875,6 @@ class ExperimentSpec:
             data["workloads"] = tuple(mixes)
         if isinstance(data.get("autoscaler"), dict):
             data["autoscaler"] = AutoscalerSpec(**data["autoscaler"])
+        if isinstance(data.get("speculative"), dict):
+            data["speculative"] = SpeculativeSpec.from_dict(data["speculative"])
         return cls(**data)

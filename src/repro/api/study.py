@@ -45,6 +45,7 @@ from repro.api.spec import (
     PoolSpec,
     WeightedWorkload,
 )
+from repro.llm.speculative import SpeculativeSpec
 from repro.serving.sessions import SessionSpec
 from repro.serving.shapes import RateShape, shape_from_dict
 from repro.serving.tenants import TenantSpec
@@ -373,6 +374,7 @@ _SPEC_VALUE_TYPES: Dict[str, type] = {
     "MeasurementSpec": MeasurementSpec,
     "TenantSpec": TenantSpec,
     "SessionSpec": SessionSpec,
+    "SpeculativeSpec": SpeculativeSpec,
 }
 
 

@@ -151,30 +151,37 @@ class TokenBreakdown:
 
 @dataclass(frozen=True)
 class GpuRuntimeBreakdown:
-    """GPU time split into prefill / decode / idle within a window (Fig. 6)."""
+    """GPU time split into prefill / decode / idle within a window (Fig. 6).
+
+    ``mixed`` is the time spent in chunked-prefill steps that co-schedule
+    prompt chunks with decode tokens; it is zero unless an engine runs with
+    ``prefill_chunk_tokens`` set, and counts as active (not idle) time.
+    """
 
     prefill: float
     decode: float
     idle: float
+    mixed: float = 0.0
 
     @property
     def total(self) -> float:
-        return self.prefill + self.decode + self.idle
+        return self.prefill + self.decode + self.mixed + self.idle
 
     @property
     def utilization(self) -> float:
         """Fraction of the window the GPU was actively computing."""
         if self.total <= 0:
             return 0.0
-        return (self.prefill + self.decode) / self.total
+        return (self.prefill + self.decode + self.mixed) / self.total
 
     @property
     def fractions(self) -> Dict[str, float]:
         if self.total <= 0:
-            return {"prefill": 0.0, "decode": 0.0, "idle": 0.0}
+            return {"prefill": 0.0, "decode": 0.0, "mixed": 0.0, "idle": 0.0}
         return {
             "prefill": self.prefill / self.total,
             "decode": self.decode / self.total,
+            "mixed": self.mixed / self.total,
             "idle": self.idle / self.total,
         }
 
@@ -184,6 +191,7 @@ class GpuRuntimeBreakdown:
             prefill=breakdown.get("prefill", 0.0),
             decode=breakdown.get("decode", 0.0),
             idle=breakdown.get("idle", 0.0),
+            mixed=breakdown.get("mixed", 0.0),
         )
 
     @classmethod
@@ -195,6 +203,7 @@ class GpuRuntimeBreakdown:
             prefill=mean([b.prefill for b in collected]),
             decode=mean([b.decode for b in collected]),
             idle=mean([b.idle for b in collected]),
+            mixed=mean([b.mixed for b in collected]),
         )
 
 

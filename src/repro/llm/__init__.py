@@ -34,6 +34,7 @@ from repro.llm.scheduler import (
     register_scheduler_policy,
 )
 from repro.llm.predictor import DecodeLengthPredictor
+from repro.llm.speculative import SpeculativeSpec
 from repro.llm.engine import EngineConfig, EngineStepRecord, LLMEngine
 from repro.llm.client import LLMClient
 
@@ -65,6 +66,7 @@ __all__ = [
     "SchedulerConfig",
     "SchedulingPolicy",
     "SegmentKind",
+    "SpeculativeSpec",
     "StepKind",
     "SyntheticTokenizer",
     "TokenSpan",

@@ -25,6 +25,10 @@ class PowerState(str, Enum):
     IDLE = "idle"
     PREFILL = "prefill"
     DECODE = "decode"
+    # Draft-model forward passes of speculative decoding: extra compute the
+    # non-speculative engine never pays, metered separately so experiments
+    # can report the draft energy bill (``draft_energy_j``) on its own.
+    DRAFT = "draft"
 
 
 @dataclass

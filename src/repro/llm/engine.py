@@ -28,8 +28,9 @@ from repro.llm.perf import PerformanceModel
 from repro.llm.prefix_cache import PrefixCache
 from repro.llm.request import LLMRequest, RequestState
 from repro.llm.scheduler import ScheduledStep, Scheduler, SchedulerConfig, StepKind
+from repro.llm.speculative import SpeculativeSpec
 from repro.llm.tokenizer import SyntheticTokenizer
-from repro.sim import Environment, Event
+from repro.sim import Environment, Event, RandomStream
 
 
 @dataclass(frozen=True)
@@ -56,6 +57,38 @@ class EngineConfig:
     # Fraction of the hardware-derived KV block budget this engine gets
     # (1.0 = the full budget; see KVCacheConfig.from_hardware).
     kv_cache_fraction: float = 1.0
+    # Chunked prefill: per-step budget of prompt tokens, co-scheduled with
+    # decode tokens in one mixed roofline step (vLLM's chunked prefill).
+    # None = atomic prefill, the pre-chunking behaviour, bit-for-bit.
+    prefill_chunk_tokens: Optional[int] = None
+    # Speculative decoding acceptance model; None = disabled (bit-for-bit
+    # identical to the pre-speculative engine).  When set, decode steps emit
+    # ``accepted + 1`` tokens for one verify pass plus the draft-model cost,
+    # and speculative execution supersedes ``decode_fast_forward`` (the
+    # fast-forward's one-token-per-step replay no longer describes a step).
+    speculative: Optional[SpeculativeSpec] = None
+
+    def __post_init__(self) -> None:
+        if self.max_decode_chunk < 1:
+            raise ValueError("max_decode_chunk must be >= 1")
+        if self.prefill_chunk_tokens is not None and self.prefill_chunk_tokens < 1:
+            raise ValueError("prefill_chunk_tokens must be >= 1")
+        # ``max_decode_chunk > 1`` (legacy approximate chunking) and
+        # ``decode_fast_forward`` compose with a documented precedence:
+        # approximate chunking wins on uncontended steps (no waiting
+        # requests), exact fast-forwarding covers contended stretches.  The
+        # two *fidelity* features below, however, change what a decode step
+        # means, so combining them with the approximation is incoherent.
+        if self.max_decode_chunk > 1 and self.prefill_chunk_tokens is not None:
+            raise ValueError(
+                "prefill_chunk_tokens is incompatible with max_decode_chunk > 1 "
+                "(approximate decode chunking); use decode_fast_forward for speed"
+            )
+        if self.max_decode_chunk > 1 and self.speculative is not None:
+            raise ValueError(
+                "speculative decoding is incompatible with max_decode_chunk > 1 "
+                "(approximate decode chunking); use decode_fast_forward for speed"
+            )
 
     def resolved_cluster(self) -> ClusterSpec:
         return self.cluster if self.cluster is not None else cluster_for_model(self.model)
@@ -69,7 +102,7 @@ class EngineStepRecord:
 
     start: float
     duration: float
-    kind: str                      # "prefill" | "decode" | "idle"
+    kind: str                      # "prefill" | "decode" | "mixed" | "idle"
     batch_size: int
     new_tokens: int
     cached_tokens: int
@@ -97,7 +130,11 @@ class LLMEngine:
             capacity_fraction=config.kv_cache_fraction,
         )
         self.kv_cache = PrefixCache(kv_config)
-        self.scheduler = Scheduler(config.scheduler, self.kv_cache)
+        self.scheduler = Scheduler(
+            config.scheduler,
+            self.kv_cache,
+            prefill_chunk_tokens=config.prefill_chunk_tokens,
+        )
         self.energy = EnergyMeter(cluster=self.cluster)
         self.tokenizer = SyntheticTokenizer(vocab_size=self.model.vocab_size)
 
@@ -105,6 +142,18 @@ class LLMEngine:
         self.completed_requests: List[LLMRequest] = []
         self.total_generated_tokens: int = 0
         self.total_prefill_tokens: int = 0
+        # Seconds during which an atomic prefill step ran while decodes were
+        # blocked behind it (head-of-line blocking) -- the pathology chunked
+        # prefill exists to remove.  Pure telemetry; never feeds back into
+        # simulated behaviour.
+        self.prefill_hol_block_s: float = 0.0
+        # Speculative-decoding counters: per-sequence verify events and the
+        # draft tokens those verifies accepted (excluding bonus tokens).
+        self.spec_sequence_steps: int = 0
+        self.spec_accepted_tokens: int = 0
+        # Per-request acceptance substreams (created lazily, keyed by
+        # request id so draws are independent of batch composition).
+        self._accept_streams: Dict[int, RandomStream] = {}
 
         # Window-query acceleration: step records are appended in time order,
         # so (sorted) start/end arrays let reporting bisect to the records
@@ -112,7 +161,9 @@ class LLMEngine:
         # whole-run queries in O(1) instead of re-scanning every record.
         self._record_starts: List[float] = []
         self._record_ends: List[float] = []
-        self._full_breakdown: Dict[str, float] = {"prefill": 0.0, "decode": 0.0, "idle": 0.0}
+        self._full_breakdown: Dict[str, float] = {
+            "prefill": 0.0, "decode": 0.0, "mixed": 0.0, "idle": 0.0
+        }
         self._full_kv_time: float = 0.0
         self._full_kv_weighted: float = 0.0
         self._full_kv_max: float = 0.0
@@ -149,6 +200,8 @@ class LLMEngine:
                 continue
             if step.kind == StepKind.PREFILL:
                 yield from self._execute_prefill(step)
+            elif step.kind == StepKind.MIXED:
+                yield from self._execute_mixed(step)
             else:
                 preempted = self.scheduler.preemption_count != preemptions_before
                 yield from self._execute_decode(step, preempted)
@@ -179,12 +232,18 @@ class LLMEngine:
         new_tokens = step.new_prefill_tokens
         cached_tokens = step.cached_prefill_tokens
         duration = self.perf.prefill_time(new_tokens, cached_tokens)
+        # Running sequences decode nothing while this atomic prefill step
+        # occupies the engine: head-of-line blocking, metered for the
+        # ``prefill_hol_block_s`` metric (telemetry only).
+        if self.scheduler.num_running > 0:
+            self.prefill_hol_block_s += duration
         yield self.env.timeout(duration)
         joules = self.energy.record(PowerState.PREFILL, duration)
 
         generated = 0
         for item in step.prefills:
             request = item.request
+            request.num_computed_tokens = request.num_prompt_tokens
             share = item.new_tokens / max(new_tokens, 1)
             request.timings.prefill_time += duration * share
             # Prefill produces the first output token.
@@ -207,6 +266,61 @@ class LLMEngine:
             energy_joules=joules,
         )
 
+    def _execute_mixed(self, step: ScheduledStep):
+        """One chunked-prefill step: prompt chunks and decode tokens together.
+
+        A single roofline evaluation covers the combined work
+        (:meth:`PerformanceModel.mixed_step_time`); energy books under the
+        prefill power state (the chunk's dense compute dominates the step's
+        intensity).  Prefill chunks advance ``num_computed_tokens`` and
+        publish chunk-boundary hashes; the chunk completing a prompt emits
+        the request's first token and promotes it to decoding.  Decode
+        sequences each emit one token exactly as in a per-token decode step.
+        """
+        start = self.env.now
+        new_tokens = step.new_prefill_tokens
+        cached_tokens = step.cached_prefill_tokens
+        context_lengths = [request.context_length for request in step.decodes]
+        duration = self.perf.mixed_step_time(new_tokens, cached_tokens, context_lengths)
+        yield self.env.timeout(duration)
+        joules = self.energy.record(PowerState.PREFILL, duration)
+
+        generated = 0
+        now = self.env.now
+        for item in step.prefills:
+            request = item.request
+            request.num_computed_tokens += item.new_tokens
+            self.kv_cache.register_prefill_progress(
+                request, request.num_computed_tokens, now=now
+            )
+            share = item.new_tokens / max(new_tokens, 1)
+            request.timings.prefill_time += duration * share
+            if item.last_chunk:
+                self._append_output_token(request)
+                generated += 1
+                if request.timings.first_token is None:
+                    request.timings.first_token = now
+        for request in step.decodes:
+            request.timings.decode_time += duration
+            self._append_output_token(request)
+            generated += 1
+        self.scheduler.on_chunks_complete(step.prefills)
+        self.total_prefill_tokens += new_tokens
+        self.total_generated_tokens += generated
+        finishable = [item.request for item in step.prefills if item.last_chunk]
+        finishable.extend(step.decodes)
+        self._finish_completed(finishable)
+        self._record_step(
+            start=start,
+            duration=duration,
+            kind="mixed",
+            batch_size=step.batch_size,
+            new_tokens=new_tokens,
+            cached_tokens=cached_tokens,
+            generated_tokens=generated,
+            energy_joules=joules,
+        )
+
     def _execute_decode(self, step: ScheduledStep, preempted: bool = False):
         if not step.decodes:
             # Everything got preempted; yield a minimal scheduling delay so
@@ -215,6 +329,13 @@ class LLMEngine:
             yield self.env.timeout(duration)
             self.energy.record(PowerState.IDLE, duration)
             return
+        if self.config.speculative is not None:
+            # Speculative decoding changes what a decode step *is* (verify +
+            # draft, multiple tokens per sequence), so it supersedes both
+            # chunking knobs and the fast-forward (enforced/validated in
+            # EngineConfig.__post_init__).
+            yield from self._execute_decode_speculative(step)
+            return
         if self.config.max_decode_chunk > 1 and self.scheduler.num_waiting == 0:
             # Legacy approximate chunking (opt-in knob): one roofline step for
             # up to ``max_decode_chunk`` tokens, trading queueing fidelity for
@@ -222,6 +343,69 @@ class LLMEngine:
             yield from self._execute_decode_approx(step)
             return
         yield from self._execute_decode_exact(step, preempted)
+
+    def _execute_decode_speculative(self, step: ScheduledStep):
+        """One speculative decode step: draft ``k`` tokens, verify, emit run.
+
+        Step time is one target verify pass over the batch plus ``k`` draft
+        passes at ``draft_ratio`` of its cost; verify time books under the
+        decode power state and draft time under
+        :attr:`~repro.llm.energy.PowerState.DRAFT`.  Each sequence emits its
+        accepted run plus the bonus token (clamped to its remaining output
+        and to the KV blocks actually reservable), with acceptance drawn
+        from the sequence's dedicated substream so the draw sequence is
+        independent of batch composition.
+        """
+        start = self.env.now
+        spec = self.config.speculative
+        decodes = step.decodes
+        context_lengths = [request.context_length for request in decodes]
+        verify_duration = self.perf.decode_step_time(context_lengths)
+        draft_duration = (
+            spec.num_speculative_tokens * spec.draft_ratio * verify_duration
+        )
+        duration = verify_duration + draft_duration
+        yield self.env.timeout(duration)
+        joules = self.energy.record(PowerState.DECODE, verify_duration)
+        joules += self.energy.record(PowerState.DRAFT, draft_duration)
+
+        generated = 0
+        now = self.env.now
+        streams = self._accept_streams
+        for request in decodes:
+            stream = streams.get(request.request_id)
+            if stream is None:
+                stream = spec.acceptance_stream(request.request_id)
+                streams[request.request_id] = stream
+            accepted = spec.draw_accepted(stream)
+            self.spec_sequence_steps += 1
+            emit = min(accepted + 1, request.remaining_output_tokens)
+            # The scheduler's per-step reservation covers one token; the
+            # accepted extras need their own KV blocks.  Clamp the emission
+            # to what the free pool can actually hold (reserve_tokens fails
+            # without side effects, so stepping down is safe).
+            while emit > 1 and not self.kv_cache.reserve_tokens(request, emit, now=now):
+                emit -= 1
+            self.spec_accepted_tokens += emit - 1
+            request.timings.decode_time += duration
+            for _ in range(max(emit, 1)):
+                self._append_output_token(request)
+                generated += 1
+        self.total_generated_tokens += generated
+        self._finish_completed(decodes)
+        for request in decodes:
+            if request.state == RequestState.FINISHED:
+                streams.pop(request.request_id, None)
+        self._record_step(
+            start=start,
+            duration=duration,
+            kind="decode",
+            batch_size=len(decodes),
+            new_tokens=0,
+            cached_tokens=0,
+            generated_tokens=generated,
+            energy_joules=joules,
+        )
 
     def _execute_decode_approx(self, step: ScheduledStep):
         start = self.env.now
@@ -306,6 +490,9 @@ class LLMEngine:
         if (
             self.config.decode_fast_forward
             and not preempted
+            # A partial prefill in flight means the next step will be MIXED,
+            # so no decode run is unobservable (always empty in atomic mode).
+            and not self.scheduler.prefilling
             and (
                 self.scheduler.num_waiting == 0
                 or self.scheduler.policy.time_invariant_select
@@ -593,7 +780,7 @@ class LLMEngine:
         if self._covers_full_history(start, end):
             breakdown = dict(self._full_breakdown)
         else:
-            breakdown = {"prefill": 0.0, "decode": 0.0, "idle": 0.0}
+            breakdown = {"prefill": 0.0, "decode": 0.0, "mixed": 0.0, "idle": 0.0}
             for index in self._window_indices(start, end):
                 record = self.step_records[index]
                 record_end = record.start + record.duration

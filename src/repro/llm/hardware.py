@@ -94,6 +94,11 @@ class ClusterSpec:
             per_gpu = gpu.decode_power_w
         elif state == "prefill":
             per_gpu = gpu.prefill_power_w
+        elif state == "draft":
+            # Speculative draft passes run on the same GPUs at decode-like
+            # (memory-bound) intensity; the draft energy premium comes from
+            # the extra dwell *time*, not a distinct power level.
+            per_gpu = gpu.decode_power_w
         else:
             raise ValueError(f"unknown power state: {state!r}")
         if state != "idle" and self.tensor_parallel > 1:

@@ -114,6 +114,35 @@ class PerformanceModel:
         compute_time = flops / self._peak_compute
         return max(memory_time, compute_time) + self._step_overhead
 
+    # -- mixed (chunked prefill) ------------------------------------------
+    def mixed_step_time(
+        self,
+        new_tokens: int,
+        cached_tokens: int,
+        context_lengths: Sequence[int],
+    ) -> float:
+        """Duration of one step co-scheduling prefill chunks with decode.
+
+        Under chunked prefill the engine batches ``new_tokens`` prompt tokens
+        (``cached_tokens`` of attention context already resident) together
+        with one decode token for each sequence in ``context_lengths``.  The
+        step is a single roofline evaluation over the combined work: FLOPs
+        add (one forward pass covers both), weights stream once, and the KV
+        reads of the decode sequences ride along on the memory side.
+        """
+        if not context_lengths:
+            return self.prefill_time(new_tokens, cached_tokens)
+        if new_tokens <= 0:
+            return self.decode_step_time(context_lengths)
+        flops = self.model.prefill_flops(new_tokens, cached_tokens)
+        dense = self._flops_dense
+        attn = self._flops_attn_per_ctx
+        flops += sum(dense + attn * max(ctx, 0.0) for ctx in context_lengths)
+        compute_time = flops / self._peak_compute
+        kv_bytes = self._kv_bytes_per_token * float(sum(context_lengths))
+        memory_time = (self._weight_bytes + kv_bytes) / self._decode_bandwidth
+        return max(compute_time, memory_time) + self._step_overhead
+
     # -- convenience ------------------------------------------------------
     def generation_time(
         self,

@@ -32,6 +32,10 @@ class SequenceAllocation:
     block_ids: List[int]
     num_cached_tokens: int
     block_hashes: List[int]
+    # Prompt blocks whose hashes are already published to the cache.  Atomic
+    # prefill registers every full prompt block at admission; chunked prefill
+    # defers and advances this watermark at each chunk boundary.
+    num_registered_blocks: int = 0
 
 
 class PrefixCache:
@@ -97,7 +101,10 @@ class PrefixCache:
 
     # -- prefill ------------------------------------------------------------
     def allocate_sequence(
-        self, request: LLMRequest, now: float = 0.0
+        self,
+        request: LLMRequest,
+        now: float = 0.0,
+        defer_registration: bool = False,
     ) -> Optional[SequenceAllocation]:
         """Allocate the block table for ``request``'s prompt.
 
@@ -105,6 +112,12 @@ class PrefixCache:
         (the scheduler will retry later or preempt).  At most one token of
         prefill work is always left even on a full-prefix hit, mirroring
         vLLM's requirement to recompute the final token for sampling.
+
+        With ``defer_registration=True`` (chunked prefill) the hashes of
+        freshly computed prompt blocks are *not* published at admission;
+        the engine publishes them as chunks actually complete via
+        :meth:`register_prefill_progress`, so concurrent requests only hit
+        blocks whose KV entries exist.
         """
         if request.request_id in self._allocations:
             raise ValueError(f"request {request.request_id} already allocated")
@@ -154,18 +167,50 @@ class PrefixCache:
 
         # Register the hashes of freshly computed *full* prompt blocks so other
         # requests (and later iterations of the same agent) can reuse them.
-        if self.enabled:
-            full_prompt_blocks = request.num_prompt_tokens // self.block_size
+        full_prompt_blocks = request.num_prompt_tokens // self.block_size
+        if self.enabled and not defer_registration:
             start = len(cached_block_ids)
             self.allocator.register_hashes(
                 zip(block_ids[start:full_prompt_blocks], hashes[start:full_prompt_blocks])
             )
+            allocation.num_registered_blocks = full_prompt_blocks
+        else:
+            allocation.num_registered_blocks = len(cached_block_ids)
 
         request.block_ids = block_ids
         request.num_cached_tokens = num_cached_tokens
         self.prompt_tokens_seen += request.num_prompt_tokens
         self.cached_token_hits += num_cached_tokens
         return allocation
+
+    def register_prefill_progress(
+        self, request: LLMRequest, num_computed_tokens: int, now: float = 0.0
+    ) -> None:
+        """Publish hashes of prompt blocks completed by a prefill chunk.
+
+        Called by the engine at each chunk boundary with the request's total
+        computed-prompt-token count.  Blocks that became full since the last
+        boundary are registered so concurrent requests sharing the prefix can
+        start hitting them mid-prefill -- the chunk-granular analogue of the
+        atomic path's admission-time registration.
+        """
+        if not self.enabled:
+            return
+        allocation = self._allocations.get(request.request_id)
+        if allocation is None:
+            raise KeyError(f"request {request.request_id} has no allocation")
+        full_prompt_blocks = request.num_prompt_tokens // self.block_size
+        computed_blocks = min(num_computed_tokens // self.block_size, full_prompt_blocks)
+        start = allocation.num_registered_blocks
+        if computed_blocks <= start:
+            return
+        self.allocator.register_hashes(
+            zip(
+                allocation.block_ids[start:computed_blocks],
+                allocation.block_hashes[start:computed_blocks],
+            )
+        )
+        allocation.num_registered_blocks = computed_blocks
 
     # -- decode -------------------------------------------------------------
     def append_token(self, request: LLMRequest, now: float = 0.0) -> bool:
@@ -222,7 +267,16 @@ class PrefixCache:
                 all_tokens, self.block_size,
                 prefix_hashes=request.prompt_block_hashes(self.block_size),
             )
-            self.allocator.register_hashes(zip(allocation.block_ids, hashes))
+            computed = request.num_computed_tokens
+            if 0 < computed < request.num_prompt_tokens:
+                # Chunked prefill was interrupted mid-prompt: only blocks
+                # whose KV entries were actually computed may be published.
+                limit = computed // self.block_size
+                self.allocator.register_hashes(
+                    zip(allocation.block_ids[:limit], hashes[:limit])
+                )
+            else:
+                self.allocator.register_hashes(zip(allocation.block_ids, hashes))
         self.allocator.release_many(allocation.block_ids, now=now)
         request.block_ids = []
 
@@ -230,3 +284,4 @@ class PrefixCache:
         """Free blocks of a preempted request (recompute-style preemption)."""
         self.free_sequence(request, now=now)
         request.num_cached_tokens = 0
+        request.num_computed_tokens = 0

@@ -87,6 +87,7 @@ class LLMRequest:
         "timings",
         "output_token_ids",
         "num_cached_tokens",
+        "num_computed_tokens",
         "block_ids",
         "completion_event",
         "_prompt_hashes",
@@ -109,6 +110,10 @@ class LLMRequest:
 
         self.output_token_ids: List[int] = []
         self.num_cached_tokens: int = 0
+        # Prompt tokens whose KV entries exist (cached prefix + chunks
+        # computed so far).  Only chunked prefill advances this in stages;
+        # atomic prefill goes 0 -> num_prompt_tokens in one step.
+        self.num_computed_tokens: int = 0
         self.block_ids: List[int] = []
         self.completion_event: Any = None  # set by the client/engine
         # Memoized chained block hashes of the (immutable) prompt, keyed by

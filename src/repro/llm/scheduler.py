@@ -27,6 +27,9 @@ from repro.registry import PolicyRegistry
 class StepKind(str, Enum):
     PREFILL = "prefill"
     DECODE = "decode"
+    # Chunked prefill co-schedules prompt chunks with decode tokens in one
+    # roofline step (vLLM's chunked-prefill batch composition).
+    MIXED = "mixed"
 
 
 @dataclass(frozen=True)
@@ -261,11 +264,19 @@ def create_scheduler_policy(name: str) -> SchedulingPolicy:
 
 @dataclass(slots=True)
 class PrefillItem:
-    """One request admitted in a prefill step."""
+    """One request's prefill work in a step.
+
+    Atomic prefill computes the whole uncached prompt at once
+    (``last_chunk=True`` always); chunked prefill computes ``new_tokens`` of
+    it per step with ``cached_tokens`` tokens of attention context already
+    resident (cached prefix plus previously computed chunks), and only the
+    chunk that completes the prompt carries ``last_chunk=True``.
+    """
 
     request: LLMRequest
     new_tokens: int
     cached_tokens: int
+    last_chunk: bool = True
 
 
 @dataclass(slots=True)
@@ -292,7 +303,12 @@ class ScheduledStep:
 class Scheduler:
     """Policy-driven continuous batching over a shared prefix-aware KV cache."""
 
-    def __init__(self, config: SchedulerConfig, kv_cache: PrefixCache):
+    def __init__(
+        self,
+        config: SchedulerConfig,
+        kv_cache: PrefixCache,
+        prefill_chunk_tokens: Optional[int] = None,
+    ):
         self.config = config
         self.kv_cache = kv_cache
         self.policy = create_scheduler_policy(config.policy)
@@ -300,8 +316,17 @@ class Scheduler:
             self.policy.predictor = DecodeLengthPredictor(
                 config.predictor_error, seed=config.predictor_seed
             )
+        if prefill_chunk_tokens is not None and prefill_chunk_tokens < 1:
+            raise ValueError("prefill_chunk_tokens must be >= 1")
+        # None = atomic prefill (whole uncached prompt in one step, the
+        # pre-chunking behaviour, bit-for-bit); an int enables chunked
+        # prefill with that per-step prompt-token budget.
+        self.prefill_chunk_tokens = prefill_chunk_tokens
         self.waiting: Deque[LLMRequest] = deque()
         self.running: List[LLMRequest] = []
+        # Requests admitted under chunked prefill whose prompt is not fully
+        # computed yet; always empty in atomic mode.
+        self.prefilling: List[LLMRequest] = []
         self.preemption_count: int = 0
 
     # -- queue management ---------------------------------------------------
@@ -310,7 +335,7 @@ class Scheduler:
         self.waiting.append(request)
 
     def has_work(self) -> bool:
-        return bool(self.waiting) or bool(self.running)
+        return bool(self.waiting) or bool(self.running) or bool(self.prefilling)
 
     @property
     def num_waiting(self) -> int:
@@ -320,15 +345,94 @@ class Scheduler:
     def num_running(self) -> int:
         return len(self.running)
 
+    @property
+    def num_prefilling(self) -> int:
+        return len(self.prefilling)
+
     # -- scheduling -----------------------------------------------------------
     def schedule(self, now: float = 0.0) -> Optional[ScheduledStep]:
         """Pick the work for the next engine step, or ``None`` if idle."""
+        if self.prefill_chunk_tokens is not None:
+            return self._schedule_chunked(now)
         if self.waiting:
             step = self._schedule_prefill(now)
             if step is not None:
                 return step
         if self.running:
             return self._schedule_decode(now)
+        return None
+
+    def _schedule_chunked(self, now: float) -> Optional[ScheduledStep]:
+        """One chunked-prefill step: decode tokens plus a prompt-chunk budget.
+
+        Decode reservations run first (possibly preempting partial prefills
+        under KV pressure), then in-flight partial prefills continue in
+        admission order, then new requests are admitted while budget remains.
+        Steps with prefill work are ``MIXED``; pure-decode stretches keep
+        kind ``DECODE`` so the engine's exact decode fast-forward still
+        engages between chunks.
+        """
+        decodes: List[LLMRequest] = []
+        if self.running:
+            decodes = self._schedule_decode(now).decodes
+        # Decode tokens consume the batch's token budget first (vLLM's
+        # max_num_batched_tokens accounting); prompt chunks fill the rest,
+        # capped by the configured chunk size.
+        budget = min(
+            self.prefill_chunk_tokens,
+            max(0, self.config.max_num_batched_tokens - len(decodes)),
+        )
+        prefills: List[PrefillItem] = []
+        for request in self.prefilling:
+            if budget <= 0:
+                break
+            remaining = request.num_prompt_tokens - request.num_computed_tokens
+            chunk = min(budget, remaining)
+            prefills.append(
+                PrefillItem(
+                    request=request,
+                    new_tokens=chunk,
+                    cached_tokens=request.num_computed_tokens,
+                    last_chunk=chunk == remaining,
+                )
+            )
+            budget -= chunk
+        while self.waiting and budget > 0:
+            total_seqs = len(self.running) + len(self.prefilling) + len(prefills)
+            if total_seqs >= self.config.max_num_seqs:
+                break
+            index = self.policy.select_index(self.waiting, now)
+            request = self.waiting[index]
+            allocation = self.kv_cache.allocate_sequence(
+                request, now=now, defer_registration=True
+            )
+            if allocation is None:
+                # KV cache full: admit nothing more this step.
+                break
+            del self.waiting[index]
+            uncached = request.num_prompt_tokens - allocation.num_cached_tokens
+            request.num_computed_tokens = allocation.num_cached_tokens
+            request.state = RequestState.RUNNING
+            if request.timings.first_scheduled is None:
+                request.timings.first_scheduled = now
+            self.policy.on_scheduled(request, now)
+            self.prefilling.append(request)
+            chunk = min(budget, uncached)
+            prefills.append(
+                PrefillItem(
+                    request=request,
+                    new_tokens=chunk,
+                    cached_tokens=allocation.num_cached_tokens,
+                    last_chunk=chunk == uncached,
+                )
+            )
+            budget -= chunk
+        if prefills:
+            # Always MIXED (even with no decodes): items may be partial
+            # chunks, which only the engine's mixed executor understands.
+            return ScheduledStep(kind=StepKind.MIXED, prefills=prefills, decodes=decodes)
+        if decodes:
+            return ScheduledStep(kind=StepKind.DECODE, decodes=decodes)
         return None
 
     def _schedule_prefill(self, now: float) -> Optional[ScheduledStep]:
@@ -404,6 +508,11 @@ class Scheduler:
     def _pick_preemption_victim(
         self, protected: Set[int]
     ) -> Optional[LLMRequest]:
+        # Partial prefills are the cheapest victims (least work to re-pay),
+        # newest first; the list is always empty in atomic mode.
+        for candidate in reversed(self.prefilling):
+            if id(candidate) not in protected:
+                return candidate
         for candidate in reversed(self.running):
             if id(candidate) not in protected:
                 return candidate
@@ -413,6 +522,8 @@ class Scheduler:
         """Recompute-style preemption: free blocks and move back to waiting."""
         if request in self.running:
             self.running.remove(request)
+        if request in self.prefilling:
+            self.prefilling.remove(request)
         self.kv_cache.release_for_preemption(request, now=now)
         request.state = RequestState.WAITING
         self.waiting.appendleft(request)
@@ -423,6 +534,21 @@ class Scheduler:
         for item in items:
             if item.request.state == RequestState.RUNNING:
                 self.running.append(item.request)
+
+    def on_chunks_complete(self, items: List[PrefillItem]) -> None:
+        """A chunked-prefill step executed: promote finished prompts.
+
+        The engine has already advanced each request's
+        ``num_computed_tokens`` and registered chunk-boundary hashes; here
+        requests whose final chunk ran move from ``prefilling`` to
+        ``running`` so they decode starting next step.
+        """
+        for item in items:
+            request = item.request
+            if item.last_chunk and request.state == RequestState.RUNNING:
+                if request in self.prefilling:
+                    self.prefilling.remove(request)
+                self.running.append(request)
 
     def finish_request(self, request: LLMRequest, now: float = 0.0) -> None:
         if request in self.running:

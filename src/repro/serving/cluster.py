@@ -649,7 +649,9 @@ class Cluster:
 
     def runtime_breakdown(self, start: float = 0.0, end: Optional[float] = None) -> Dict[str, float]:
         """Summed seconds per step kind across replicas within ``[start, end]``."""
-        combined: Dict[str, float] = {"prefill": 0.0, "decode": 0.0, "idle": 0.0}
+        combined: Dict[str, float] = {
+            "prefill": 0.0, "decode": 0.0, "mixed": 0.0, "idle": 0.0
+        }
         for engine in self.engines:
             for kind, seconds in engine.runtime_breakdown(start, end).items():
                 combined[kind] = combined.get(kind, 0.0) + seconds

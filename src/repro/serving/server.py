@@ -98,6 +98,23 @@ class ServingResult:
     tenant_stats: Optional[TenantFairnessStats] = None
     # Multi-turn session accounting (None for sessionless runs).
     session_stats: Optional[SessionStats] = None
+    # -- engine-fidelity telemetry (all zero when the features are off) ------
+    # Seconds decode sequences spent blocked behind atomic prefill steps
+    # (head-of-line blocking; chunked prefill drives this toward zero).
+    prefill_hol_block_s: float = 0.0
+    # Speculative decoding: per-sequence verify events and the draft tokens
+    # they accepted (excluding bonus tokens), summed across replicas.
+    spec_sequence_steps: int = 0
+    spec_accepted_tokens: int = 0
+    # Joules spent in draft-model forward passes within the measured window.
+    draft_energy_j: float = 0.0
+
+    @property
+    def mean_accepted_per_step(self) -> Optional[float]:
+        """Mean draft tokens accepted per verify (None without speculation)."""
+        if self.spec_sequence_steps == 0:
+            return None
+        return self.spec_accepted_tokens / self.spec_sequence_steps
 
     @property
     def num_completed(self) -> int:

@@ -293,7 +293,7 @@ class TestEngineWindowAggregates:
         return engine
 
     def _brute_force(self, engine, start, end):
-        breakdown = {"prefill": 0.0, "decode": 0.0, "idle": 0.0}
+        breakdown = {"prefill": 0.0, "decode": 0.0, "mixed": 0.0, "idle": 0.0}
         total_time = weighted = maximum = 0.0
         for record in engine.step_records:
             record_end = record.start + record.duration
