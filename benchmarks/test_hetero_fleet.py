@@ -1,0 +1,71 @@
+"""Heterogeneous fleets -- the cost frontier and the hardware off-switch.
+
+Two lanes: a mini hardware-layout study asserting the headline (the mixed
+H100+L4 fleet dominates the homogeneous A100 fleet sized to the same chat
+attainment on dollars per 1k served tokens, and the FleetPlanner selects
+it under a cost budget), and an identity check pinning that a spec with
+``hardware`` left unset reproduces the explicit paper-default hardware bit
+for bit -- pinning hardware must cost nothing when it names the default.
+"""
+
+from repro.analysis import hetero_fleet_study
+from repro.api import ArrivalSpec, ExperimentSpec, HardwareSpec, run_experiment
+
+from bench_utils import scaled
+
+
+def test_hetero_fleet_cost_frontier(run_once):
+    study = run_once(hetero_fleet_study, num_requests=scaled(48))
+    print()
+    print(study.format())
+    for traffic in ("steady", "burst"):
+        print(study.format_frontier(traffic))
+
+    # The headline: under both traffic programs the mixed fleet serves
+    # tokens cheaper than the attainment-matched homogeneous A100 fleet
+    # while holding chat attainment at least as high -- the homogeneous
+    # fleet cannot sit on the frontier, the mixed fleet does.
+    for traffic in ("steady", "burst"):
+        assert study.mixed_dominates(traffic)
+        fleets = study.frontier_fleets(traffic)
+        assert "mixed-h100-l4" in fleets
+        assert "a100-heavy" not in fleets
+
+    # The planner question: under a $/1k-tokens budget the heavy A100
+    # fleet cannot meet, the planner buys the mixed fleet.
+    plan = study.plan(0.003, traffic="burst")
+    print(f"plan under $0.003/1k tokens: {plan.describe()}")
+    assert plan.labels.get("fleet") == "mixed-h100-l4"
+    assert plan.cost <= 0.003
+    assert plan.quality >= study.fleet_metric(
+        "burst", "a100-heavy", "class_attainment:chat"
+    )
+
+
+def test_hardware_unset_is_identity(run_once):
+    arrival = ArrivalSpec(
+        process="poisson", qps=4.0, num_requests=scaled(16), task_pool_size=8
+    )
+    base = ExperimentSpec(
+        agent="chatbot", workload="sharegpt", arrival=arrival, max_num_seqs=4
+    )
+    pinned = ExperimentSpec(
+        agent="chatbot",
+        workload="sharegpt",
+        arrival=arrival,
+        max_num_seqs=4,
+        hardware=HardwareSpec(gpu="A100-40GB"),
+    )
+
+    def both():
+        return run_experiment(base), run_experiment(pinned)
+
+    default_run, pinned_run = run_once(both)
+    print()
+    print(f"hardware unset:  {default_run.summary()}")
+    print(f"paper default:   {pinned_run.summary()}")
+
+    # Unset means the paper default: explicitly pinning A100-40GB changes
+    # nothing, bit for bit, including the new cost accounting.
+    assert pinned_run.latencies == default_run.latencies
+    assert pinned_run.summary() == default_run.summary()

@@ -32,6 +32,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.agents.registry import AGENT_CLASSES  # noqa: E402
+from repro.llm.hardware import GPU_CATALOG  # noqa: E402
 from repro.llm.scheduler import SCHEDULER_POLICIES  # noqa: E402
 from repro.serving.admission import ADMISSION_POLICIES  # noqa: E402
 from repro.serving.cluster import ROUTER_POLICIES  # noqa: E402
@@ -120,6 +121,37 @@ def _registries() -> Sequence[Registry]:
     )
 
 
+def _render_gpu_catalog() -> str:
+    """The GPU catalog section: instances, not classes, so it gets its own
+    table shape (roofline, power, and price columns instead of docstrings)."""
+    parts: List[str] = ["\n## GPU catalog\n"]
+    parts.append(
+        "Named by `HardwareSpec.gpu` (on `PoolSpec.hardware` /\n"
+        "`ExperimentSpec.hardware`); registered in `repro.llm.hardware`\n"
+        "(`register_gpu`).  Prices are GCP us-central1 on-demand per\n"
+        "GPU-hour; rooflines are vendor datasheet numbers (dense bf16).\n"
+    )
+    parts.append(
+        "\n| name | aliases | $/GPU-hr | peak TFLOP/s | HBM GB/s | mem GB "
+        "| idle/decode/prefill W |"
+    )
+    parts.append("\n| --- | --- | --- | --- | --- | --- | --- |")
+    by_spec: dict = {}
+    for key, spec in GPU_CATALOG.items():
+        by_spec.setdefault(id(spec), [spec, []])[1].append(key)
+    for spec, keys in sorted(by_spec.values(), key=lambda entry: entry[0].name):
+        aliases = sorted(key for key in keys if key != spec.name.lower())
+        parts.append(
+            f"\n| `{spec.name}` | {', '.join(f'`{a}`' for a in aliases) or '--'} "
+            f"| {spec.cost_per_hour:.2f} | {spec.peak_flops / 1e12:.0f} "
+            f"| {spec.mem_bandwidth / 1e9:,.0f} | {spec.mem_capacity / 1e9:.0f} "
+            f"| {spec.idle_power_w:.0f}/{spec.decode_power_w:.0f}/"
+            f"{spec.prefill_power_w:.0f} |"
+        )
+    parts.append("\n")
+    return "".join(parts)
+
+
 def render() -> str:
     """The full REGISTRIES.md content the live registries imply."""
     parts: List[str] = [HEADER]
@@ -132,6 +164,7 @@ def render() -> str:
             cls = entries[name]
             parts.append(f"\n| `{name}` | `{cls.__name__}` | {_first_doc_line(cls)} |")
         parts.append("\n")
+    parts.append(_render_gpu_catalog())
     return "".join(parts)
 
 

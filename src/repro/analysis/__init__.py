@@ -23,6 +23,10 @@ from repro.analysis.fleet_sizing import (
     FleetSizingResult,
     fleet_sizing_study,
 )
+from repro.analysis.hetero_fleet import (
+    HeteroFleetResult,
+    hetero_fleet_study,
+)
 from repro.analysis.predictive_scaling import (
     PredictiveScalingResult,
     predictive_scaling_study,
@@ -61,6 +65,7 @@ __all__ = [
     "EngineFidelityStudyResult",
     "FairnessStudyResult",
     "FleetSizingResult",
+    "HeteroFleetResult",
     "MixedFleetResult",
     "PredictiveScalingResult",
     "PredictorErrorStudyResult",
@@ -70,6 +75,7 @@ __all__ = [
     "engine_fidelity_study",
     "fairness_study",
     "fleet_sizing_study",
+    "hetero_fleet_study",
     "offline_accuracy",
     "predictive_scaling_study",
     "predictor_error_study",

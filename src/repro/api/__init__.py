@@ -58,6 +58,16 @@ never sever a conversation mid-flight), and sessionful results report
 ``cross_turn_hit_rate``, ``total_turns``, ``completed_sessions``, and
 ``affinity_invalidations`` (see ``examples/sessions.py``).
 
+Heterogeneous hardware: ``PoolSpec(hardware=HardwareSpec(gpu="H100-80GB"))``
+(or an experiment-wide ``ExperimentSpec(hardware=...)``) pins pools to
+catalog GPUs with their own roofline, power, and hourly cost, results gain
+``cost_usd`` / ``energy_j`` / ``cost_per_1k_tokens``,
+``pool_classification="cost-aware"`` routes work to the cheapest pool whose
+predicted decode still meets the class SLO, and
+:class:`~repro.serving.planner.FleetPlanner` picks an operating point from a
+hardware-layout study's cost/quality frontier (see
+``examples/hetero_fleet.py``).
+
 The legacy entry points (``SingleRequestRunner``, ``AgentServer``,
 ``run_at_qps``, ``sweep_qps``) remain as thin compatibility shims over this
 layer and reproduce their historical results bit-for-bit (``run_sweep`` is
@@ -92,7 +102,9 @@ from repro.api.study import (
     resolve_metric,
     run_study,
 )
+from repro.llm.hardware import HardwareSpec
 from repro.llm.speculative import SpeculativeSpec
+from repro.serving.planner import FleetPlan, FleetPlanner
 from repro.serving.sessions import SessionSpec, SessionStats
 from repro.serving.tenants import TenantSpec
 
@@ -102,6 +114,9 @@ __all__ = [
     "ArrivalSpec",
     "AutoscalerSpec",
     "ExperimentSpec",
+    "FleetPlan",
+    "FleetPlanner",
+    "HardwareSpec",
     "MeasurementSpec",
     "ParetoPoint",
     "PoolSpec",

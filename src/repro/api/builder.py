@@ -157,6 +157,9 @@ class SystemBuilder:
         speculative = spec.speculative
         if pool is not None and pool.speculative is not None:
             speculative = pool.speculative
+        hardware = spec.hardware
+        if pool is not None and pool.hardware is not None:
+            hardware = pool.hardware
         return EngineConfig(
             model=get_model(model),
             enable_prefix_caching=prefix_caching,
@@ -171,6 +174,9 @@ class SystemBuilder:
             kv_cache_fraction=kv_cache_fraction,
             prefill_chunk_tokens=prefill_chunk_tokens,
             speculative=speculative,
+            # None keeps EngineConfig.resolved_cluster() on cluster_for_model,
+            # the golden-pinned legacy hardware.
+            cluster=hardware.resolve() if hardware is not None else None,
         )
 
     def stream_name(self) -> str:
@@ -197,7 +203,14 @@ class SystemBuilder:
                 )
                 for pool in spec.pools
             ]
-            return Cluster(env, pools=pools, predictor=predictor)
+            return Cluster(
+                env,
+                pools=pools,
+                predictor=predictor,
+                classification=spec.pool_classification,
+                class_slos=dict(spec.measurement.class_slos),
+                default_slo=spec.measurement.slo_p95_s,
+            )
         return Cluster(
             env,
             self.engine_config(),

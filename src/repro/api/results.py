@@ -122,6 +122,35 @@ class ResultSet:
             return 0.0
         return self.serving.replica_seconds
 
+    # -- hardware cost & energy --------------------------------------------------
+    @property
+    def cost_usd(self) -> float:
+        """USD of replica-seconds, priced per pool's hardware (serving only)."""
+        if self.serving is None:
+            return 0.0
+        return self.serving.cost_usd
+
+    @property
+    def served_tokens(self) -> float:
+        """Prompt + output tokens of the measured requests (serving only)."""
+        if self.serving is None:
+            return 0.0
+        return self.serving.served_tokens
+
+    @property
+    def cost_per_1k_tokens(self) -> float:
+        """USD per 1000 served tokens (0.0 when nothing was served)."""
+        if self.serving is None:
+            return 0.0
+        return self.serving.cost_per_1k_tokens
+
+    @property
+    def energy_j(self) -> float:
+        """Measured-window energy in joules (:attr:`energy_wh` in SI units)."""
+        if self.serving is None:
+            return self.energy_wh * 3600.0
+        return self.serving.energy_j
+
     @property
     def pool_stats(self) -> Dict[str, Any]:
         """Per-pool engine metrics (name -> PoolStats; empty for characterization)."""
@@ -307,7 +336,8 @@ class ResultSet:
         """Resolve a study-metric name on this result.
 
         Accepts any :class:`ResultSet` attribute name (``replica_seconds``,
-        ``p95_latency``, ``energy_wh``, ``rejection_rate``,
+        ``p95_latency``, ``energy_wh``, ``energy_j``, ``cost_usd``,
+        ``cost_per_1k_tokens``, ``rejection_rate``,
         ``served_token_ratio``, ``jain_fairness``, ...), the per-class form
         ``class_<stat>:<label>`` (``class_p95:chat``,
         ``class_attainment:chat``, ``class_rejection:agent``), or the
@@ -340,6 +370,9 @@ class ResultSet:
         }
         if self.serving is not None:
             summary["replica_seconds"] = self.replica_seconds
+            summary["cost_usd"] = self.cost_usd
+            summary["cost_per_1k_tokens"] = self.cost_per_1k_tokens
+            summary["energy_j"] = self.energy_j
             summary["rejection_rate"] = self.rejection_rate
             if self.slo_attainment is not None:
                 summary["slo_attainment"] = self.slo_attainment

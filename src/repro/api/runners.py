@@ -679,6 +679,15 @@ class ServingDriver:
                 for pool in system.cluster.pools.values()
             )
             session_stats = self._session_stats
+        # Hardware cost: each pool's replica-seconds priced at its own
+        # replica-hour rate (mirrors the replica_seconds accounting basis).
+        cost_usd = sum(
+            pool.cost_until(end_time) for pool in system.cluster.pools.values()
+        )
+        served_tokens = sum(
+            float(result.total_prompt_tokens + result.total_output_tokens)
+            for result in measured
+        )
         return ServingResult(
             config=compat_serving_config(self.spec),
             offered_qps=offered_qps,
@@ -702,6 +711,8 @@ class ServingDriver:
             },
             class_stats=self._class_stats(measured, duration),
             replica_seconds=system.cluster.replica_seconds_until(end_time),
+            cost_usd=cost_usd,
+            served_tokens=served_tokens,
             scaling_events=list(system.cluster.scaling_events),
             admission_stats=self.admission.class_stats(),
             slo_p95_s=self.spec.measurement.slo_p95_s,
@@ -776,6 +787,9 @@ class ServingDriver:
             spilled_out=pool.spilled_out,
             replica_seconds=pool.replica_seconds_until(end_time),
             energy_wh=energy_wh,
+            cost_per_hour=pool.cost_per_hour,
+            cost_usd=pool.cost_until(end_time),
+            gpu=pool.hardware.gpu.name,
             completed_llm_requests=len(latencies),
             llm_p95_latency_s=percentile(latencies, 95.0),
             llm_throughput_qps=len(latencies) / duration,

@@ -29,6 +29,7 @@ from typing import Any, Dict, Optional, Tuple
 
 from repro.agents import AgentConfig
 from repro.agents.registry import AGENT_CLASSES, available_agents
+from repro.llm.hardware import HardwareSpec
 from repro.llm.models import get_model
 from repro.llm.scheduler import SCHEDULER_POLICIES, available_scheduler_policies
 from repro.llm.speculative import SpeculativeSpec
@@ -374,6 +375,13 @@ class PoolSpec:
     request whose predicted decode length fits the bound.  ``None`` for
     ``enable_prefix_caching`` / ``max_decode_chunk`` / ``kv_cache_fraction``
     inherits the experiment defaults.
+
+    ``hardware`` gives this pool its own GPU generation and tensor-parallel
+    degree (a :class:`~repro.llm.hardware.HardwareSpec`; a bare catalog GPU
+    name or a dict form is accepted as shorthand), so pools in one fleet can
+    run different perf/energy/cost curves and KV budgets.  ``None`` (and
+    :attr:`ExperimentSpec.hardware` unset) keeps the model's
+    :func:`~repro.llm.hardware.cluster_for_model` default bit-for-bit.
     """
 
     name: str
@@ -392,6 +400,9 @@ class PoolSpec:
     # for ``speculative``).
     prefill_chunk_tokens: Optional[int] = None
     speculative: Optional[SpeculativeSpec] = None
+    # GPU generation / TP degree for this pool's engines (None = inherit the
+    # experiment default, which itself defaults to cluster_for_model).
+    hardware: Optional[HardwareSpec] = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -435,6 +446,20 @@ class PoolSpec:
                 f"pool {self.name!r}: speculative must be a SpeculativeSpec "
                 f"(or a dict form), got {self.speculative!r}"
             )
+        if isinstance(self.hardware, str):
+            object.__setattr__(self, "hardware", HardwareSpec(gpu=self.hardware))
+        elif isinstance(self.hardware, dict):
+            object.__setattr__(self, "hardware", HardwareSpec.from_dict(self.hardware))
+        if self.hardware is not None:
+            if not isinstance(self.hardware, HardwareSpec):
+                raise ValueError(
+                    f"pool {self.name!r}: hardware must be a HardwareSpec "
+                    f"(or a catalog GPU name / dict form), got {self.hardware!r}"
+                )
+            try:
+                self.hardware.resolve().kv_cache_bytes(get_model(self.model))
+            except ValueError as error:
+                raise ValueError(f"pool {self.name!r}: {error}") from None
         if not isinstance(self.traffic_classes, tuple):
             object.__setattr__(self, "traffic_classes", tuple(self.traffic_classes))
 
@@ -655,6 +680,16 @@ class ExperimentSpec:
     # Speculative decoding acceptance model (dict forms accepted); None (the
     # default) disables it -- bit-for-bit the legacy behaviour.
     speculative: Optional[SpeculativeSpec] = None
+    # Default hardware for every pool's engines (a HardwareSpec; bare catalog
+    # GPU names and dict forms accepted; PoolSpec.hardware overrides it per
+    # pool).  None (the default) keeps cluster_for_model -- bit-for-bit the
+    # legacy behaviour.
+    hardware: Optional[HardwareSpec] = None
+    # How the cluster picks a pool for each request: "static" (the legacy
+    # traffic-class / predicted-decode classification) or "cost-aware" (the
+    # cheapest pool whose predicted decode still meets the request's class
+    # SLO; classes without a declared SLO fall back to static).
+    pool_classification: str = "static"
 
     def __post_init__(self) -> None:
         if self.agent.lower() not in AGENT_CLASSES:
@@ -718,6 +753,31 @@ class ExperimentSpec:
                 "max_decode_chunk > 1 (approximate decode chunking); "
                 "use decode_fast_forward for speed instead"
             )
+        if isinstance(self.hardware, str):
+            object.__setattr__(self, "hardware", HardwareSpec(gpu=self.hardware))
+        elif isinstance(self.hardware, dict):
+            object.__setattr__(self, "hardware", HardwareSpec.from_dict(self.hardware))
+        if self.hardware is not None:
+            if not isinstance(self.hardware, HardwareSpec):
+                raise ValueError(
+                    f"hardware must be a HardwareSpec (or a catalog GPU name / "
+                    f"dict form), got {self.hardware!r}"
+                )
+            # Pools carrying their own model validate their own fit; the
+            # experiment default must at least fit the experiment model.
+            self.hardware.resolve().kv_cache_bytes(get_model(self.model))
+        if self.pool_classification not in ("static", "cost-aware"):
+            raise ValueError(
+                f"unknown pool_classification {self.pool_classification!r}; "
+                "known: ['static', 'cost-aware']"
+            )
+        if self.pool_classification == "cost-aware" and (
+            self.measurement.slo_p95_s is None and not self.measurement.class_slos
+        ):
+            raise ValueError(
+                "cost-aware pool classification needs an SLO to route against: "
+                "declare measurement.slo_p95_s or measurement.class_slos"
+            )
         self._validate_fleet()
         self._validate_admission()
 
@@ -746,6 +806,15 @@ class ExperimentSpec:
                             f"pool {pool.name!r} claims unknown traffic class "
                             f"{traffic_class!r}; mixture classes: {sorted(known)}"
                         )
+        if self.hardware is not None:
+            # Pools without their own hardware inherit the experiment default;
+            # their (possibly different) model must fit it too.
+            for pool in self.pools:
+                if pool.hardware is None:
+                    try:
+                        self.hardware.resolve().kv_cache_bytes(get_model(pool.model))
+                    except ValueError as error:
+                        raise ValueError(f"pool {pool.name!r}: {error}") from None
         if self.autoscaler is not None:
             if self.arrival.process == "single":
                 raise ValueError(
@@ -855,12 +924,15 @@ class ExperimentSpec:
         if isinstance(data.get("admission"), dict):
             data["admission"] = AdmissionSpec.from_dict(data["admission"])
         if data.get("pools"):
-            data["pools"] = tuple(
-                PoolSpec(**dict(pool, traffic_classes=tuple(pool.get("traffic_classes", ()))))
-                if isinstance(pool, dict)
-                else pool
-                for pool in data["pools"]
-            )
+            pools = []
+            for pool in data["pools"]:
+                if isinstance(pool, dict):
+                    pool = dict(pool, traffic_classes=tuple(pool.get("traffic_classes", ())))
+                    if isinstance(pool.get("hardware"), dict):
+                        pool["hardware"] = HardwareSpec.from_dict(pool["hardware"])
+                    pool = PoolSpec(**pool)
+                pools.append(pool)
+            data["pools"] = tuple(pools)
         if data.get("workloads"):
             mixes = []
             for mix in data["workloads"]:
@@ -877,4 +949,6 @@ class ExperimentSpec:
             data["autoscaler"] = AutoscalerSpec(**data["autoscaler"])
         if isinstance(data.get("speculative"), dict):
             data["speculative"] = SpeculativeSpec.from_dict(data["speculative"])
+        if isinstance(data.get("hardware"), dict):
+            data["hardware"] = HardwareSpec.from_dict(data["hardware"])
         return cls(**data)

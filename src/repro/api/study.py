@@ -45,6 +45,7 @@ from repro.api.spec import (
     PoolSpec,
     WeightedWorkload,
 )
+from repro.llm.hardware import HardwareSpec
 from repro.llm.speculative import SpeculativeSpec
 from repro.serving.sessions import SessionSpec
 from repro.serving.shapes import RateShape, shape_from_dict
@@ -375,6 +376,7 @@ _SPEC_VALUE_TYPES: Dict[str, type] = {
     "TenantSpec": TenantSpec,
     "SessionSpec": SessionSpec,
     "SpeculativeSpec": SpeculativeSpec,
+    "HardwareSpec": HardwareSpec,
 }
 
 

@@ -219,6 +219,11 @@ class PoolStats:
     spilled_out: int = 0
     replica_seconds: float = 0.0
     energy_wh: float = 0.0
+    # Hardware cost accounting: the pool's replica-hour price (GPU on-demand
+    # price x TP degree) and the USD its measured replica-seconds cost.
+    cost_per_hour: float = 0.0
+    cost_usd: float = 0.0
+    gpu: str = ""
     completed_llm_requests: int = 0
     llm_p95_latency_s: float = 0.0
     llm_throughput_qps: float = 0.0
@@ -238,6 +243,9 @@ class PoolStats:
             "spilled_out": self.spilled_out,
             "replica_seconds": self.replica_seconds,
             "energy_wh": self.energy_wh,
+            "cost_per_hour": self.cost_per_hour,
+            "cost_usd": self.cost_usd,
+            "gpu": self.gpu,
             "llm_requests": self.completed_llm_requests,
             "llm_p95_s": self.llm_p95_latency_s,
             "llm_qps": self.llm_throughput_qps,

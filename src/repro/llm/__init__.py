@@ -16,7 +16,20 @@ hardware:
 """
 
 from repro.llm.models import ModelSpec, LLAMA_3_1_8B, LLAMA_3_1_70B, get_model
-from repro.llm.hardware import GPUSpec, ClusterSpec, A100_40GB, cluster_for_model
+from repro.llm.hardware import (
+    A100_40GB,
+    A100_80GB,
+    ClusterSpec,
+    GPU_CATALOG,
+    GPUSpec,
+    H100_80GB,
+    HardwareSpec,
+    L4_24GB,
+    available_gpus,
+    cluster_for_model,
+    get_gpu,
+    register_gpu,
+)
 from repro.llm.perf import PerformanceModel
 from repro.llm.energy import EnergyMeter, PowerState
 from repro.llm.tokenizer import SyntheticTokenizer, TokenSpan, Prompt, SegmentKind
@@ -40,13 +53,18 @@ from repro.llm.client import LLMClient
 
 __all__ = [
     "A100_40GB",
+    "A100_80GB",
     "BlockAllocator",
     "ClusterSpec",
     "DecodeLengthPredictor",
     "EngineConfig",
     "EngineStepRecord",
     "EnergyMeter",
+    "GPU_CATALOG",
     "GPUSpec",
+    "H100_80GB",
+    "HardwareSpec",
+    "L4_24GB",
     "KVCacheConfig",
     "LLAMA_3_1_70B",
     "LLAMA_3_1_8B",
@@ -70,9 +88,12 @@ __all__ = [
     "StepKind",
     "SyntheticTokenizer",
     "TokenSpan",
+    "available_gpus",
     "available_scheduler_policies",
     "cluster_for_model",
     "create_scheduler_policy",
+    "get_gpu",
     "get_model",
+    "register_gpu",
     "register_scheduler_policy",
 ]

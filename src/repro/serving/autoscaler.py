@@ -128,6 +128,10 @@ class Autoscaler:
         self.p95_slo_s = p95_slo_s
         self.p95_window_s = p95_window_s
         self._last_action_time = float("-inf")
+        # Planner-derived replica target (see FleetPlanner): the controller
+        # grows toward it and refuses to shrink below it.  None (the default)
+        # leaves the signal-driven behaviour untouched.
+        self.planned_target: Optional[int] = None
         # Forecast-triggered grows whose reactive counterpart has not fired
         # yet: (grow time, pre-grow provisioned count) pairs waiting for the
         # first heartbeat at which the counterfactual reactive trigger fires.
@@ -151,10 +155,44 @@ class Autoscaler:
         while True:
             self.sleep_event = self.env.timeout(self.check_interval_s)
             yield self.sleep_event
+            self._apply_planned_target()
             if self.mode == "predictive":
                 self._evaluate_predictive()
             else:
                 self._evaluate()
+
+    # -- planner coupling ------------------------------------------------------
+    def set_planned_target(self, target: Optional[int]) -> None:
+        """Install a planner-derived replica target (``None`` clears it).
+
+        The controller grows toward the target at its next heartbeat (paying
+        ``warmup_s`` as usual) and refuses to shrink below it; signal-driven
+        scale-ups *above* the target still apply, so the planner sets the
+        floor of the operating point and the load signals handle transients.
+        The target is clamped to ``[min_replicas, max_replicas]``.
+        """
+        if target is None:
+            self.planned_target = None
+            return
+        self.planned_target = max(
+            self.min_replicas, min(self.max_replicas, int(target))
+        )
+
+    def _above_planned_floor(self, provisioned: int) -> bool:
+        """Whether a shrink would keep capacity at or above the planned target."""
+        return self.planned_target is None or provisioned > self.planned_target
+
+    def _apply_planned_target(self) -> None:
+        """Grow toward the planned target (shrink is handled by the floor)."""
+        if self.planned_target is None:
+            return
+        pool = self.pool
+        provisioned = pool.num_provisioned
+        if provisioned < self.planned_target:
+            reason = f"planned target={self.planned_target}"
+            for _ in range(self.planned_target - provisioned):
+                pool.grow(warmup_s=self.warmup_s, reason=reason)
+            self._last_action_time = self.env.now
 
     def _evaluate(self) -> None:
         now = self.env.now
@@ -180,6 +218,7 @@ class Autoscaler:
         if (
             pool.num_active > self.min_replicas
             and provisioned > self.min_replicas
+            and self._above_planned_floor(provisioned)
             and pending_per_replica < self.scale_down_pending_per_replica
             and not slo_violated
         ):
@@ -245,6 +284,7 @@ class Autoscaler:
             and not slo_violated
             and pool.num_active > self.min_replicas
             and provisioned > self.min_replicas
+            and self._above_planned_floor(provisioned)
             and pool.num_pending_requests / max(provisioned, 1)
             < self.scale_down_pending_per_replica
         ):

@@ -241,6 +241,14 @@ class ReplicaPool:
         self.traffic_classes: Tuple[str, ...] = tuple(c.lower() for c in traffic_classes)
         self.max_predicted_decode = max_predicted_decode
         self.accepts_spill = accepts_spill
+        # The concrete hardware every replica of this pool runs on (the
+        # config's explicit cluster, or the model's default), cached for cost
+        # accounting and cost-aware classification.
+        self.hardware = config.resolved_cluster()
+        #: Roofline decode seconds per token on this pool's hardware.
+        self.decode_seconds_per_token = self.hardware.decode_seconds_per_token(
+            config.model
+        )
 
         self.replicas: List[LLMEngine] = []
         self.routed_counts: List[int] = []
@@ -369,6 +377,15 @@ class ReplicaPool:
         )
         return self._accrued_replica_seconds + open_spans
 
+    @property
+    def cost_per_hour(self) -> float:
+        """USD per replica-hour of this pool's hardware (GPU price x TP)."""
+        return self.hardware.cost_per_hour
+
+    def cost_until(self, now: Optional[float] = None) -> float:
+        """USD spent on this pool's replica-seconds up to ``now``."""
+        return self.replica_seconds_until(now) / 3600.0 * self.cost_per_hour
+
     # -- load & submission ----------------------------------------------------
     @property
     def num_pending_requests(self) -> int:
@@ -495,7 +512,15 @@ class Cluster:
         pools: Optional[Sequence[ReplicaPool]] = None,
         predictor: Optional[DecodeLengthPredictor] = None,
         pool_spill_threshold: Optional[float] = 4.0,
+        classification: str = "static",
+        class_slos: Optional[Dict[str, float]] = None,
+        default_slo: Optional[float] = None,
     ):
+        if classification not in ("static", "cost-aware"):
+            raise ValueError(
+                f"unknown pool classification {classification!r}; "
+                "known: ['static', 'cost-aware']"
+            )
         self.env = env
         if pools:
             names = [pool.name for pool in pools]
@@ -512,6 +537,13 @@ class Cluster:
             }
         self.predictor = predictor or DecodeLengthPredictor()
         self.pool_spill_threshold = pool_spill_threshold
+        self.classification = classification
+        #: traffic-class label (lower-cased) -> p95 SLO seconds, for the
+        #: cost-aware classifier; ``default_slo`` covers unlabelled classes.
+        self.class_slos = {
+            str(label).lower(): slo for label, slo in (class_slos or {}).items()
+        }
+        self.default_slo = default_slo
 
     # -- pool access ----------------------------------------------------------
     @property
@@ -595,6 +627,10 @@ class Cluster:
         pools = list(self.pools.values())
         if len(pools) == 1:
             return pools[0]
+        if self.classification == "cost-aware":
+            pool = self._classify_cost_aware(request, pools)
+            if pool is not None:
+                return pool
         traffic_class = request.metadata.get("traffic_class")
         if traffic_class:
             key = str(traffic_class).lower()
@@ -612,6 +648,36 @@ class Cluster:
                 return unbounded[0]
             return max(bounded, key=lambda p: p.max_predicted_decode)
         return self.default_pool
+
+    def _classify_cost_aware(
+        self, request: LLMRequest, pools: List[ReplicaPool]
+    ) -> Optional[ReplicaPool]:
+        """Cheapest pool whose predicted decode still meets the class SLO.
+
+        Pools are scanned in ascending replica-hour price; a pool qualifies
+        when its roofline decode time for the request's predicted decode
+        length -- plus its share of the pool's enqueued predicted backlog --
+        fits the SLO governing the request's traffic class.  When no pool
+        qualifies, the fastest pool is the best effort.  Requests whose class
+        has no declared SLO return ``None`` and fall back to static
+        classification (spill still runs after either path).
+        """
+        traffic_class = request.metadata.get("traffic_class")
+        slo = None
+        if traffic_class:
+            slo = self.class_slos.get(str(traffic_class).lower())
+        if slo is None:
+            slo = self.default_slo
+        if slo is None:
+            return None
+        predicted = self.predictor.predict(request)
+        ranked = sorted(pools, key=lambda pool: (pool.cost_per_hour, pool.name))
+        for pool in ranked:
+            backlog = pool.pending_predicted_tokens(self.predictor)
+            queued = backlog / max(pool.num_active, 1)
+            if (predicted + queued) * pool.decode_seconds_per_token <= slo:
+                return pool
+        return min(ranked, key=lambda pool: pool.decode_seconds_per_token)
 
     def _maybe_spill(self, chosen: ReplicaPool, request: LLMRequest) -> ReplicaPool:
         """Overflow to a less-loaded pool when ``chosen`` is overloaded."""

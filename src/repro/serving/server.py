@@ -78,6 +78,12 @@ class ServingResult:
     class_stats: Dict[str, TrafficClassStats] = field(default_factory=dict)
     # Replica-seconds paid for across every pool (cost accounting).
     replica_seconds: float = 0.0
+    # USD cost of those replica-seconds, priced per pool's hardware (GPU
+    # on-demand price x TP degree), summed across pools.
+    cost_usd: float = 0.0
+    # Prompt + output tokens of the measured requests (the denominator of
+    # cost_per_1k_tokens).
+    served_tokens: float = 0.0
     # Elastic-capacity actions taken during the run (empty without autoscaling).
     scaling_events: List[ScalingEvent] = field(default_factory=list)
     # Door-level admission accounting per traffic class ("" = unlabelled
@@ -154,6 +160,18 @@ class ServingResult:
         if self.num_completed == 0:
             return 0.0
         return self.energy_wh / self.num_completed
+
+    @property
+    def energy_j(self) -> float:
+        """Measured-window energy in joules (the Wh figure, SI units)."""
+        return self.energy_wh * 3600.0
+
+    @property
+    def cost_per_1k_tokens(self) -> float:
+        """USD per 1000 served tokens (0.0 when nothing was served)."""
+        if self.served_tokens <= 0:
+            return 0.0
+        return self.cost_usd / (self.served_tokens / 1000.0)
 
     @property
     def accuracy(self) -> float:
